@@ -1,0 +1,181 @@
+//===-- bench/micro_domain_ops.cpp - Micro benchmarks (M1) ----------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro benchmarks (google-benchmark) for the primitive costs underlying
+/// every experiment: abstract-domain operations (transfer/join/widen per
+/// domain) and DAIG machinery (name hashing, construction, query reuse,
+/// dirtying). These calibrate the Fig. 10 reproduction: the paper's effect
+/// requires domain operations to dominate graph bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/lowering.h"
+#include "daig/daig.h"
+#include "domain/interval.h"
+#include "domain/octagon.h"
+#include "domain/shape.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dai;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Domain operations
+//===----------------------------------------------------------------------===//
+
+/// Builds an octagon over \p N variables with a chain of relations.
+Octagon chainOctagon(int N, int64_t Offset) {
+  Octagon O;
+  for (int I = 0; I < N; ++I)
+    O.addVar("v" + std::to_string(I));
+  for (int I = 0; I + 1 < N; ++I) {
+    // v_{i+1} − v_i ≤ 1 + Offset and v_i − v_{i+1} ≤ 0.
+    O.addConstraint(static_cast<size_t>(I + 1), true,
+                    static_cast<size_t>(I), false, 1 + Offset);
+    O.addConstraint(static_cast<size_t>(I), true,
+                    static_cast<size_t>(I + 1), false, 0);
+  }
+  O.addConstraint(0, true, static_cast<size_t>(-1), true, 10 + Offset);
+  O.addConstraint(0, false, static_cast<size_t>(-1), true, 0);
+  O.close();
+  return O;
+}
+
+void BM_OctagonClosure(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    Octagon O = chainOctagon(N, 0);
+    O.Closed = false; // force a re-closure
+    State.ResumeTiming();
+    O.close();
+    benchmark::DoNotOptimize(O);
+  }
+}
+BENCHMARK(BM_OctagonClosure)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(24);
+
+void BM_OctagonTransferAssign(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  Octagon O = chainOctagon(N, 0);
+  Stmt S = Stmt::mkAssign("v0", Expr::mkBinary(BinaryOp::Add,
+                                               Expr::mkVar("v1"),
+                                               Expr::mkInt(3)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(OctagonDomain::transfer(S, O));
+}
+BENCHMARK(BM_OctagonTransferAssign)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_OctagonJoin(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  Octagon A = chainOctagon(N, 0), B = chainOctagon(N, 5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(OctagonDomain::join(A, B));
+}
+BENCHMARK(BM_OctagonJoin)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_OctagonWiden(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  Octagon A = chainOctagon(N, 0), B = chainOctagon(N, 5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(OctagonDomain::widen(A, B));
+}
+BENCHMARK(BM_OctagonWiden)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_OctagonHash(benchmark::State &State) {
+  Octagon A = chainOctagon(static_cast<int>(State.range(0)), 0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(OctagonDomain::hash(A));
+}
+BENCHMARK(BM_OctagonHash)->Arg(8)->Arg(16);
+
+void BM_IntervalTransfer(benchmark::State &State) {
+  IntervalState S;
+  for (int I = 0; I < 10; ++I)
+    S.set("v" + std::to_string(I),
+          VarAbs::numeric(Interval::range(-I, I * I)));
+  Stmt Assign = Stmt::mkAssign(
+      "v0", Expr::mkBinary(BinaryOp::Mul, Expr::mkVar("v1"),
+                           Expr::mkVar("v2")));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(IntervalDomain::transfer(Assign, S));
+}
+BENCHMARK(BM_IntervalTransfer);
+
+void BM_ShapeMaterializingTransfer(benchmark::State &State) {
+  ShapeState S = ShapeDomain::initialEntry({"p"});
+  S = ShapeDomain::transfer(
+      Stmt::mkAssume(Expr::mkBinary(BinaryOp::Ne, Expr::mkVar("p"),
+                                    Expr::mkNull())),
+      S);
+  Stmt Deref = Stmt::mkAssign("x", Expr::mkField(Expr::mkVar("p"), "next"));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ShapeDomain::transfer(Deref, S));
+}
+BENCHMARK(BM_ShapeMaterializingTransfer);
+
+//===----------------------------------------------------------------------===//
+// DAIG machinery
+//===----------------------------------------------------------------------===//
+
+Function sampleFunction(int Loops) {
+  std::string Src = "function main(n) {\n  var a = 0;\n  var b = 1;\n";
+  for (int I = 0; I < Loops; ++I)
+    Src += "  while (a < n) { a = a + " + std::to_string(I + 1) + "; }\n";
+  Src += "  return a + b;\n}\n";
+  LowerResult LR = frontend(Src);
+  assert(LR.ok());
+  return std::move(*LR.Prog.find("main"));
+}
+
+void BM_NameConstruction(benchmark::State &State) {
+  for (auto _ : State) {
+    Name N = Name::iter(
+        Name::pair(Name::num(3), Name::pair(Name::loc(17), Name::loc(18))),
+        2);
+    benchmark::DoNotOptimize(N.hash());
+  }
+}
+BENCHMARK(BM_NameConstruction);
+
+void BM_DaigConstruction(benchmark::State &State) {
+  Function F = sampleFunction(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Daig<IntervalDomain> G(&F.Body, IntervalDomain::initialEntry(F.Params));
+    benchmark::DoNotOptimize(G.cellCount());
+  }
+}
+BENCHMARK(BM_DaigConstruction)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_DaigQueryColdVsWarm(benchmark::State &State) {
+  Function F = sampleFunction(3);
+  Daig<IntervalDomain> G(&F.Body, IntervalDomain::initialEntry(F.Params));
+  (void)G.queryLocation(F.Body.exit()); // warm all cells
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.queryLocation(F.Body.exit()));
+}
+BENCHMARK(BM_DaigQueryColdVsWarm);
+
+void BM_DaigStatementEditAndRequery(benchmark::State &State) {
+  Function F = sampleFunction(3);
+  Daig<IntervalDomain> G(&F.Body, IntervalDomain::initialEntry(F.Params));
+  EdgeId InitEdge = InvalidEdgeId;
+  for (const auto &[Id, E] : F.Body.edges())
+    if (E.Label.toString() == "a = 0")
+      InitEdge = Id;
+  int64_t K = 0;
+  for (auto _ : State) {
+    G.applyStatementEdit(InitEdge, Stmt::mkAssign("a", Expr::mkInt(K++ % 7)));
+    benchmark::DoNotOptimize(G.queryLocation(F.Body.exit()));
+  }
+}
+BENCHMARK(BM_DaigStatementEditAndRequery);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+//===-- bench/sec72_interval_verification.cpp - Section 7.2 study ---------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the **Section 7.2 interval study**: array-bounds verification
+/// of the array-manipulating corpus under three context policies. The paper
+/// (on the Buckets.JS suite) reports:
+///   2-call-site sensitive:  85/85 verified
+///   1-call-site sensitive:  71/74 (96%)
+///   context-insensitive:     4/18 (22%)
+/// Absolute counts differ on our corpus (see DESIGN.md's Buckets.JS
+/// substitution); the reproduced *shape* is the precision ordering
+/// k=2 ≥ k=1 ≫ k=0. Doubles as the context-policy ablation (A2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/corpus/array_programs.h"
+#include "cfg/lowering.h"
+#include "domain/interval.h"
+#include "interproc/engine.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace dai;
+
+namespace {
+
+struct PolicyResult {
+  unsigned Total = 0;
+  unsigned Verified = 0;
+};
+
+/// Analyzes one program under call-string depth \p K and discharges every
+/// array-access obligation against the demanded abstract pre-states. An
+/// access is verified iff it is proven in bounds in *every* analyzed
+/// (function, context) instance containing it.
+PolicyResult verifyProgram(const corpus::CorpusProgram &P, unsigned K) {
+  PolicyResult R;
+  LowerResult LR = frontend(P.Source);
+  if (!LR.ok()) {
+    std::fprintf(stderr, "corpus program %s failed to lower: %s\n", P.Name,
+                 LR.Error.c_str());
+    return R;
+  }
+  InterprocEngine<IntervalDomain> Engine(std::move(LR.Prog), "main", K);
+  if (!Engine.valid()) {
+    std::fprintf(stderr, "%s: %s\n", P.Name, Engine.error().c_str());
+    return R;
+  }
+  Engine.analyzeAllFromMain();
+
+  // Static access inventory: (function, edge) → obligation count.
+  struct EdgeObligation {
+    std::string Fn;
+    EdgeId Edge;
+    unsigned Count;
+  };
+  std::vector<EdgeObligation> Inventory;
+  for (const auto &[FnName, F] : Engine.program().Functions) {
+    for (const auto &[Id, E] : F.Body.edges()) {
+      ObligationSummary Static =
+          checkArrayObligations(IntervalState(), E.Label);
+      if (Static.Total > 0)
+        Inventory.push_back(EdgeObligation{FnName, Id, Static.Total});
+    }
+  }
+
+  // Per-(fn, edge): verified in every instance that analyzes it; functions
+  // never analyzed (dead code) count as unverified, conservatively.
+  for (const auto &Ob : Inventory) {
+    R.Total += Ob.Count;
+    bool SeenInstance = false;
+    bool AllVerified = true;
+    Engine.forEachInstance([&](const auto &Key, Daig<IntervalDomain> &G) {
+      if (Key.Fn != Ob.Fn)
+        return;
+      SeenInstance = true;
+      const CfgEdge *E = Engine.cfgOf(Ob.Fn)->findEdge(Ob.Edge);
+      if (!G.info().Reachable[E->Src])
+        return; // unreachable in this instance: vacuously fine
+      IntervalState Pre = G.queryLocation(E->Src);
+      ObligationSummary Sum = checkArrayObligations(Pre, E->Label);
+      if (Sum.Verified != Sum.Total)
+        AllVerified = false;
+    });
+    if (SeenInstance && AllVerified)
+      R.Verified += Ob.Count;
+  }
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("# Section 7.2 reproduction: interval array-bounds "
+              "verification across context policies\n");
+  std::printf("# Corpus: %d array-manipulating programs (Buckets.JS "
+              "substitution; see DESIGN.md)\n\n",
+              corpus::NumArrayPrograms);
+
+  struct Policy {
+    const char *Name;
+    unsigned K;
+  };
+  const Policy Policies[] = {
+      {"2-call-site", 2}, {"1-call-site", 1}, {"insensitive", 0}};
+
+  std::printf("%-24s", "Program");
+  for (const auto &P : Policies)
+    std::printf(" %16s", P.Name);
+  std::printf("\n");
+
+  std::map<unsigned, PolicyResult> Totals;
+  for (int I = 0; I < corpus::NumArrayPrograms; ++I) {
+    const auto &Prog = corpus::ArrayPrograms[I];
+    std::printf("%-24s", Prog.Name);
+    for (const auto &P : Policies) {
+      PolicyResult R = verifyProgram(Prog, P.K);
+      Totals[P.K].Total += R.Total;
+      Totals[P.K].Verified += R.Verified;
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%u/%u", R.Verified, R.Total);
+      std::printf(" %16s", Buf);
+    }
+    std::printf("  %s\n", Prog.ExpectSafe ? "" : "(intentionally unsafe)");
+  }
+
+  std::printf("\n%-24s %10s %10s %8s\n", "Policy", "verified", "total", "%");
+  for (const auto &P : Policies) {
+    const PolicyResult &T = Totals[P.K];
+    std::printf("%-24s %10u %10u %7.0f%%\n", P.Name, T.Verified, T.Total,
+                T.Total ? 100.0 * T.Verified / T.Total : 0.0);
+  }
+  std::printf("\n# Paper (Buckets.JS): 2-cs 85/85 (100%%), 1-cs 71/74 "
+              "(96%%), insensitive 4/18 (22%%) — expect the same ordering.\n");
+  return 0;
+}

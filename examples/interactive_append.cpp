@@ -1,0 +1,111 @@
+//===-- examples/interactive_append.cpp - The paper's Section 2 session ---===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the paper's running example (Sections 1–2) as an interactive
+/// session: shape analysis of the linked-list `append` procedure of Fig. 1,
+/// a demand query for the early-return branch (Fig. 4a), the logging-
+/// statement edit (Fig. 4b), and the demanded fixed point of the traversal
+/// loop (Fig. 4c) — verifying memory safety and list well-formedness
+/// throughout, at interactive cost.
+///
+/// Build & run:  ./build/examples/interactive_append
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/edits.h"
+#include "cfg/lowering.h"
+#include "daig/daig.h"
+#include "domain/shape.h"
+
+#include <cstdio>
+
+using namespace dai;
+
+namespace {
+
+void report(const char *What, const ShapeState &S) {
+  std::printf("%-34s %s\n", What, ShapeDomain::toString(S).c_str());
+}
+
+} // namespace
+
+int main() {
+  // Fig. 1: append two well-formed (null-terminated, acyclic) lists.
+  const char *Source = R"(
+    function append(p, q) {
+      if (p == null) {
+        return q;
+      }
+      var r = p;
+      while (r.next != null) {
+        r = r.next;
+      }
+      r.next = q;
+      return p;
+    }
+  )";
+  LowerResult LR = frontend(Source);
+  if (!LR.ok()) {
+    std::fprintf(stderr, "frontend error: %s\n", LR.Error.c_str());
+    return 1;
+  }
+  Function &Append = *LR.Prog.find("append");
+
+  Statistics Stats;
+  Daig<ShapeDomain> Graph(&Append.Body,
+                          ShapeDomain::initialEntry(Append.Params), &Stats);
+  std::printf("== demanded shape analysis of append(p, q) ==\n");
+  std::printf("entry: lseg(p, nil) * lseg(q, nil)\n\n");
+
+  // Fig. 4a: demand the early-return branch only. Only the two transfers on
+  // that path run; the loop is never analyzed.
+  Loc EarlyReturnSrc = InvalidLoc;
+  for (const auto &[Id, E] : Append.Body.edges())
+    if (E.Label.Kind == StmtKind::Assign && E.Label.Lhs == RetVar &&
+        E.Label.Rhs && E.Label.Rhs->Kind == ExprKind::Var &&
+        E.Label.Rhs->Name == "q")
+      EarlyReturnSrc = E.Src;
+  ShapeState Branch = Graph.queryLocation(EarlyReturnSrc);
+  report("after `assume p == null`:", Branch);
+  std::printf("  (demand-driven: %llu transfers, %llu unrollings so far)\n\n",
+              (unsigned long long)Stats.Transfers,
+              (unsigned long long)Stats.Unrollings);
+
+  // Fig. 4c: demand the exit — the traversal loop's fixed point is computed
+  // by demanded unrolling.
+  ShapeState Exit = Graph.queryLocation(Append.Body.exit());
+  report("exit state:", Exit);
+  std::printf("  memory safe: %s\n",
+              ShapeDomain::provesMemorySafety(Exit) ? "yes" : "NO");
+  std::printf("  returns well-formed list: %s\n",
+              ShapeDomain::provesListInvariant(Exit, RetVar) ? "yes" : "NO");
+  std::printf("  loop converged after %llu demanded unrolling(s) "
+              "(paper: one)\n\n",
+              (unsigned long long)Stats.Unrollings);
+
+  // Fig. 4b: the edit — insert `print("p is null")` before the early
+  // return. Only the edited branch is dirtied; the loop fixed point is
+  // untouched.
+  uint64_t WidensBefore = Stats.Widens;
+  InsertResult R = insertStmtAt(Append.Body, EarlyReturnSrc,
+                                Stmt::mkPrint(Expr::mkInt(0)));
+  Graph.applyInsertedStatement(EarlyReturnSrc, R);
+  std::printf("edit: inserted print() before `return q` — %llu cells "
+              "dirtied\n",
+              (unsigned long long)Stats.CellsDirtied);
+
+  Exit = Graph.queryLocation(Append.Body.exit());
+  report("exit state after edit:", Exit);
+  std::printf("  loop fixed point recomputed: %s (paper: no)\n",
+              Stats.Widens == WidensBefore ? "no" : "yes");
+  std::printf("  still memory safe & well-formed: %s\n",
+              ShapeDomain::provesMemorySafety(Exit) &&
+                      ShapeDomain::provesListInvariant(Exit, RetVar)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

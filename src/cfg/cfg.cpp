@@ -1,0 +1,108 @@
+//===-- cfg/cfg.cpp - Control-flow graph implementation -------------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/cfg.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dai;
+
+Cfg::Cfg() {
+  Entry = addLoc();
+  Exit = addLoc();
+}
+
+Loc Cfg::addLoc() {
+  ++Version;
+  return NextLoc++;
+}
+
+EdgeId Cfg::addEdge(Loc Src, Loc Dst, Stmt Label) {
+  assert(Src < NextLoc && Dst < NextLoc && "edge endpoints must be allocated");
+  ++Version;
+  EdgeId Id = NextEdge++;
+  Edges[Id] = CfgEdge{Id, Src, Dst, std::move(Label)};
+  return Id;
+}
+
+bool Cfg::replaceStmt(EdgeId Id, Stmt NewLabel) {
+  auto It = Edges.find(Id);
+  if (It == Edges.end())
+    return false;
+  ++Version;
+  It->second.Label = std::move(NewLabel);
+  return true;
+}
+
+bool Cfg::redirectSrc(EdgeId Id, Loc NewSrc) {
+  auto It = Edges.find(Id);
+  if (It == Edges.end())
+    return false;
+  assert(NewSrc < NextLoc && "edge endpoints must be allocated");
+  ++Version;
+  It->second.Src = NewSrc;
+  return true;
+}
+
+bool Cfg::removeEdge(EdgeId Id) {
+  if (Edges.erase(Id) == 0)
+    return false;
+  ++Version;
+  return true;
+}
+
+bool Cfg::redirectDst(EdgeId Id, Loc NewDst) {
+  auto It = Edges.find(Id);
+  if (It == Edges.end())
+    return false;
+  assert(NewDst < NextLoc && "edge endpoints must be allocated");
+  ++Version;
+  It->second.Dst = NewDst;
+  return true;
+}
+
+const CfgEdge *Cfg::findEdge(EdgeId Id) const {
+  auto It = Edges.find(Id);
+  return It == Edges.end() ? nullptr : &It->second;
+}
+
+std::vector<EdgeId> Cfg::succEdges(Loc L) const {
+  std::vector<EdgeId> Out;
+  for (const auto &[Id, E] : Edges)
+    if (E.Src == L)
+      Out.push_back(Id);
+  return Out;
+}
+
+std::vector<EdgeId> Cfg::predEdges(Loc L) const {
+  std::vector<EdgeId> Out;
+  for (const auto &[Id, E] : Edges)
+    if (E.Dst == L)
+      Out.push_back(Id);
+  return Out;
+}
+
+std::string Cfg::toString() const {
+  std::ostringstream OS;
+  OS << "entry=l" << Entry << " exit=l" << Exit << "\n";
+  for (const auto &[Id, E] : Edges)
+    OS << "  [e" << Id << "] l" << E.Src << " --{" << E.Label.toString()
+       << "}--> l" << E.Dst << "\n";
+  return OS.str();
+}
+
+std::string Cfg::toDot(const std::string &Title) const {
+  std::ostringstream OS;
+  OS << "digraph \"" << Title << "\" {\n";
+  OS << "  l" << Entry << " [shape=doublecircle];\n";
+  OS << "  l" << Exit << " [shape=doubleoctagon];\n";
+  for (const auto &[Id, E] : Edges)
+    OS << "  l" << E.Src << " -> l" << E.Dst << " [label=\""
+       << E.Label.toString() << "\"];\n";
+  OS << "}\n";
+  return OS.str();
+}

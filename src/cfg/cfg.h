@@ -1,0 +1,117 @@
+//===-- cfg/cfg.h - Control-flow graphs -------------------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs per Fig. 5 of the paper: a program is ⟨L, E, ℓ0⟩ — a
+/// set of locations, statement-labelled directed edges, and an initial
+/// location. We additionally carry a distinguished exit location (procedure
+/// return point), which the paper's examples use implicitly (ℓret).
+///
+/// Edges carry stable unique identities (EdgeId) so that program edits can
+/// address "the statement on edge #k" across CFG mutations, and so that join
+/// input indices (fwd-edges-to) are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_CFG_CFG_H
+#define DAI_CFG_CFG_H
+
+#include "lang/stmt.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+/// A program location (ℓ ∈ Loc). Dense small integers, unique per Cfg.
+using Loc = uint32_t;
+inline constexpr Loc InvalidLoc = ~0u;
+
+/// Stable identity of a control-flow edge across edits.
+using EdgeId = uint32_t;
+inline constexpr EdgeId InvalidEdgeId = ~0u;
+
+/// A statement-labelled control-flow edge ℓ —[s]→ ℓ'.
+struct CfgEdge {
+  EdgeId Id = InvalidEdgeId;
+  Loc Src = InvalidLoc;
+  Loc Dst = InvalidLoc;
+  Stmt Label;
+};
+
+/// A mutable control-flow graph with stable location and edge identities.
+///
+/// Invariants maintained by the mutation API:
+///   - Entry and Exit are allocated locations.
+///   - Edge endpoints are allocated locations.
+/// Well-formedness beyond that (reachability, reducibility) is checked by
+/// CfgInfo (cfg/cfg_analysis.h), since arbitrary edit sequences are validated
+/// rather than prevented.
+class Cfg {
+public:
+  Cfg();
+
+  Loc entry() const { return Entry; }
+  Loc exit() const { return Exit; }
+
+  /// Allocates a fresh location.
+  Loc addLoc();
+
+  /// Adds an edge Src —[Label]→ Dst and returns its stable id.
+  EdgeId addEdge(Loc Src, Loc Dst, Stmt Label);
+
+  /// Replaces the statement labelling edge \p Id. Returns false if no such
+  /// edge exists.
+  bool replaceStmt(EdgeId Id, Stmt NewLabel);
+
+  /// Redirects the source of edge \p Id to \p NewSrc (used by structured
+  /// statement insertion, which splices a fresh location into a path).
+  bool redirectSrc(EdgeId Id, Loc NewSrc);
+
+  /// Redirects the destination of edge \p Id to \p NewDst (used when
+  /// splicing a hammock *before* a loop header).
+  bool redirectDst(EdgeId Id, Loc NewDst);
+
+  /// Removes edge \p Id entirely. Returns false if no such edge exists.
+  bool removeEdge(EdgeId Id);
+
+  const CfgEdge *findEdge(EdgeId Id) const;
+
+  /// All edges, ordered by EdgeId (deterministic).
+  const std::map<EdgeId, CfgEdge> &edges() const { return Edges; }
+
+  /// Number of allocated locations (locations are 0..numLocs()-1).
+  uint32_t numLocs() const { return NextLoc; }
+
+  /// Outgoing edge ids of \p L, ordered by EdgeId.
+  std::vector<EdgeId> succEdges(Loc L) const;
+  /// Incoming edge ids of \p L, ordered by EdgeId.
+  std::vector<EdgeId> predEdges(Loc L) const;
+
+  /// Monotonically increasing counter bumped on every mutation; lets cached
+  /// analyses (CfgInfo) detect staleness.
+  uint64_t version() const { return Version; }
+
+  /// Renders the CFG as readable text (one edge per line).
+  std::string toString() const;
+
+  /// Renders the CFG in Graphviz dot format.
+  std::string toDot(const std::string &Title = "cfg") const;
+
+private:
+  Loc Entry;
+  Loc Exit;
+  uint32_t NextLoc = 0;
+  EdgeId NextEdge = 0;
+  uint64_t Version = 0;
+  std::map<EdgeId, CfgEdge> Edges;
+};
+
+} // namespace dai
+
+#endif // DAI_CFG_CFG_H

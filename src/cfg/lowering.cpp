@@ -1,0 +1,117 @@
+//===-- cfg/lowering.cpp - AST → CFG lowering implementation --------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/lowering.h"
+
+#include "lang/parser.h"
+
+#include <cassert>
+
+using namespace dai;
+
+namespace {
+
+/// Stateful lowering of one function body.
+class Lowerer {
+public:
+  explicit Lowerer(Cfg &G) : G(G) {}
+
+  /// Lowers \p S so control flows from \p From to \p To. Returns false when
+  /// the statement never falls through (it returned), in which case nothing
+  /// was connected to \p To by this statement.
+  bool lower(const AstStmtPtr &S, Loc From, Loc To) {
+    assert(S && "cannot lower a missing statement");
+    switch (S->Kind) {
+    case AstKind::Block:
+      return lowerBlock(S->Children, From, To);
+    case AstKind::Simple:
+      G.addEdge(From, To, S->Atomic);
+      return true;
+    case AstKind::Return:
+      G.addEdge(From, G.exit(), Stmt::mkAssign(RetVar, S->Cond));
+      return false;
+    case AstKind::If: {
+      Loc ThenEntry = G.addLoc();
+      Loc ElseEntry = G.addLoc();
+      G.addEdge(From, ThenEntry, Stmt::mkAssume(S->Cond));
+      G.addEdge(From, ElseEntry, Stmt::mkAssume(negate(S->Cond)));
+      bool ThenFalls = lower(S->Children[0], ThenEntry, To);
+      bool ElseFalls = lower(S->Children[1], ElseEntry, To);
+      return ThenFalls || ElseFalls;
+    }
+    case AstKind::While: {
+      // From becomes the loop head; a dedicated latch edge guarantees the
+      // header has exactly one back edge even when the body branches.
+      Loc Head = From;
+      Loc BodyEntry = G.addLoc();
+      Loc Latch = G.addLoc();
+      G.addEdge(Head, BodyEntry, Stmt::mkAssume(S->Cond));
+      G.addEdge(Head, To, Stmt::mkAssume(negate(S->Cond)));
+      if (lower(S->Children[0], BodyEntry, Latch))
+        G.addEdge(Latch, Head, Stmt::mkSkip());
+      return true;
+    }
+    }
+    assert(false && "unknown AST statement kind");
+    return true;
+  }
+
+private:
+  Cfg &G;
+
+  bool lowerBlock(const std::vector<AstStmtPtr> &Stmts, Loc From, Loc To) {
+    if (Stmts.empty()) {
+      G.addEdge(From, To, Stmt::mkSkip());
+      return true;
+    }
+    Loc Cur = From;
+    for (size_t I = 0, E = Stmts.size(); I != E; ++I) {
+      Loc Next = (I + 1 == E) ? To : G.addLoc();
+      if (!lower(Stmts[I], Cur, Next))
+        return false; // Code after a return is dead: drop it.
+      Cur = Next;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+Function dai::lowerFunction(const FunctionAst &Ast) {
+  Function F;
+  F.Name = Ast.Name;
+  F.Params = Ast.Params;
+  Lowerer L(F.Body);
+  if (L.lower(Ast.Body, F.Body.entry(), F.Body.exit())) {
+    // The body fell through without an explicit return: return 0, so that
+    // the exit location always carries a defined __ret.
+    // (The fall-through edge into exit() already exists; nothing to add —
+    // lower() connected the last statement to exit directly.)
+  }
+  return F;
+}
+
+LowerResult dai::lowerProgram(const ProgramAst &Ast) {
+  LowerResult R;
+  for (const auto &FAst : Ast.Functions) {
+    if (R.Prog.Functions.count(FAst.Name)) {
+      R.Error = "duplicate function definition: " + FAst.Name;
+      return R;
+    }
+    R.Prog.Functions.emplace(FAst.Name, lowerFunction(FAst));
+  }
+  return R;
+}
+
+LowerResult dai::frontend(std::string_view Source) {
+  ParseResult P = parseProgram(Source);
+  if (!P.ok()) {
+    LowerResult R;
+    R.Error = P.Error;
+    return R;
+  }
+  return lowerProgram(P.Program);
+}

@@ -1,0 +1,48 @@
+//===-- cfg/lowering.h - AST → CFG lowering ---------------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers structured ASTs to edge-labelled CFGs, decomposing `if` and `while`
+/// guards into `assume cond` / `assume !cond` edges exactly as in Fig. 2 of
+/// the paper. `return e` lowers to `__ret = e` targeting the CFG exit; code
+/// following a return within a block is dead and dropped.
+///
+/// Loops are lowered with a dedicated latch edge so that every loop header
+/// has exactly one back edge (the paper's reducibility footnote assumes at
+/// most one back edge per vertex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_CFG_LOWERING_H
+#define DAI_CFG_LOWERING_H
+
+#include "cfg/program.h"
+#include "lang/ast.h"
+
+#include <string>
+
+namespace dai {
+
+/// Result of lowering: a program plus an empty error, or a message.
+struct LowerResult {
+  Program Prog;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Lowers every function of \p Ast. Fails on duplicate function names.
+LowerResult lowerProgram(const ProgramAst &Ast);
+
+/// Lowers a single function (convenience for tests).
+Function lowerFunction(const FunctionAst &Ast);
+
+/// Parses and lowers \p Source in one step; Error is set on either failure.
+LowerResult frontend(std::string_view Source);
+
+} // namespace dai
+
+#endif // DAI_CFG_LOWERING_H

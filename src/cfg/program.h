@@ -1,0 +1,52 @@
+//===-- cfg/program.h - Functions and whole programs ------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function is a named CFG with parameters; a Program is an ordered map of
+/// functions. Return statements lower to an assignment of the distinguished
+/// return variable (RetVar) followed by a jump to the CFG exit, so a
+/// function's "summary" is the abstract value of RetVar at its exit cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_CFG_PROGRAM_H
+#define DAI_CFG_PROGRAM_H
+
+#include "cfg/cfg.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+/// The distinguished variable receiving `return e;` values.
+inline const std::string RetVar = "__ret";
+
+/// A named procedure: parameters plus a control-flow graph.
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  Cfg Body;
+};
+
+/// A whole program: functions by name (deterministic iteration order).
+struct Program {
+  std::map<std::string, Function> Functions;
+
+  Function *find(const std::string &Name) {
+    auto It = Functions.find(Name);
+    return It == Functions.end() ? nullptr : &It->second;
+  }
+  const Function *find(const std::string &Name) const {
+    auto It = Functions.find(Name);
+    return It == Functions.end() ? nullptr : &It->second;
+  }
+};
+
+} // namespace dai
+
+#endif // DAI_CFG_PROGRAM_H

@@ -1,0 +1,81 @@
+//===-- daig/memo_table.h - Auxiliary memoization table ---------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The auxiliary memo table M of the Fig. 8 operational semantics: a finite
+/// map from names of the form f·(v1···vk) to abstract states, enabling reuse
+/// of analysis computations *independent of program location* (the paper
+/// realizes this with adapton.ocaml; see DESIGN.md substitutions). Entries
+/// are keyed by the function symbol and hashes of the input values — as the
+/// paper puts it, names are "hashes, essentially".
+///
+/// Dropping entries is always sound (Section 2.2): eviction trades reuse for
+/// memory, so the table exposes a size cap with FIFO eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DAIG_MEMO_TABLE_H
+#define DAI_DAIG_MEMO_TABLE_H
+
+#include "daig/name.h"
+#include "domain/abstract_domain.h"
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+namespace dai {
+
+/// Location-independent memoization of analysis function applications.
+template <typename D>
+  requires AbstractDomain<D>
+class MemoTable {
+public:
+  using Elem = typename D::Elem;
+
+  explicit MemoTable(size_t MaxEntries = 1u << 20) : MaxEntries(MaxEntries) {}
+
+  /// Returns the memoized result for \p Key, if present.
+  std::optional<Elem> lookup(const Name &Key) const {
+    auto It = Table.find(Key);
+    if (It == Table.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Records \p Key ↦ \p Value, evicting the oldest entry beyond the cap.
+  void store(const Name &Key, Elem Value) {
+    // Find-then-assign: emplace may consume the moved argument even when
+    // insertion fails, which would overwrite with a moved-from value.
+    auto It = Table.find(Key);
+    if (It != Table.end()) {
+      It->second = std::move(Value);
+      return;
+    }
+    Table.emplace(Key, std::move(Value));
+    InsertionOrder.push_back(Key);
+    while (Table.size() > MaxEntries && !InsertionOrder.empty()) {
+      Table.erase(InsertionOrder.front());
+      InsertionOrder.pop_front();
+    }
+  }
+
+  void clear() {
+    Table.clear();
+    InsertionOrder.clear();
+  }
+
+  size_t size() const { return Table.size(); }
+
+private:
+  size_t MaxEntries;
+  std::unordered_map<Name, Elem, NameHash> Table;
+  std::deque<Name> InsertionOrder;
+};
+
+} // namespace dai
+
+#endif // DAI_DAIG_MEMO_TABLE_H

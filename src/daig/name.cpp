@@ -1,0 +1,192 @@
+//===-- daig/name.cpp - DAIG name algebra ---------------------------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daig/name.h"
+
+#include "support/hashing.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dai;
+
+const char *dai::fnKindName(FnKind F) {
+  switch (F) {
+  case FnKind::Transfer: return "transfer";
+  case FnKind::Join: return "join";
+  case FnKind::Widen: return "widen";
+  case FnKind::Fix: return "fix";
+  }
+  assert(false && "unknown function kind");
+  return "?";
+}
+
+namespace {
+
+uint64_t leafHash(Name::Kind K, uint64_t A) {
+  return hashValues(static_cast<uint64_t>(K) + 0x51ULL, A);
+}
+
+} // namespace
+
+Name Name::loc(Loc L) {
+  auto N = std::make_shared<NameNode>();
+  N->K = Kind::Loc;
+  N->A = L;
+  N->Hash = leafHash(Kind::Loc, L);
+  return Name(std::move(N));
+}
+
+Name Name::fn(FnKind F) {
+  auto N = std::make_shared<NameNode>();
+  N->K = Kind::Fn;
+  N->A = static_cast<uint64_t>(F);
+  N->Hash = leafHash(Kind::Fn, N->A);
+  return Name(std::move(N));
+}
+
+Name Name::num(uint64_t V) {
+  auto N = std::make_shared<NameNode>();
+  N->K = Kind::Num;
+  N->A = V;
+  N->Hash = leafHash(Kind::Num, V);
+  return Name(std::move(N));
+}
+
+Name Name::valHash(uint64_t H) {
+  auto N = std::make_shared<NameNode>();
+  N->K = Kind::ValHash;
+  N->A = H;
+  N->Hash = leafHash(Kind::ValHash, H);
+  return Name(std::move(N));
+}
+
+Name Name::pair(const Name &L, const Name &R) {
+  assert(L.valid() && R.valid() && "pair requires valid components");
+  auto N = std::make_shared<NameNode>();
+  N->K = Kind::Pair;
+  N->L = L.Node;
+  N->R = R.Node;
+  N->Hash = hashCombine(hashCombine(0x9a17ULL, L.hash()), R.hash());
+  return Name(std::move(N));
+}
+
+Name Name::iter(const Name &Base, uint32_t Count) {
+  assert(Base.valid() && "iter requires a valid base");
+  auto N = std::make_shared<NameNode>();
+  N->K = Kind::Iter;
+  N->A = Count;
+  N->L = Base.Node;
+  N->Hash = hashCombine(hashCombine(0x17e8ULL, Base.hash()), Count);
+  return Name(std::move(N));
+}
+
+Loc Name::locId() const {
+  assert(kind() == Kind::Loc && "not a location name");
+  return static_cast<Loc>(Node->A);
+}
+
+FnKind Name::fnKind() const {
+  assert(kind() == Kind::Fn && "not a function-symbol name");
+  return static_cast<FnKind>(Node->A);
+}
+
+uint64_t Name::numValue() const {
+  assert(kind() == Kind::Num && "not a numeric name");
+  return Node->A;
+}
+
+uint64_t Name::hashValue() const {
+  assert(kind() == Kind::ValHash && "not a value-hash name");
+  return Node->A;
+}
+
+Name Name::left() const {
+  assert(kind() == Kind::Pair && "not a product name");
+  return Name(Node->L);
+}
+
+Name Name::right() const {
+  assert(kind() == Kind::Pair && "not a product name");
+  return Name(Node->R);
+}
+
+Name Name::iterBase() const {
+  assert(kind() == Kind::Iter && "not an iteration name");
+  return Name(Node->L);
+}
+
+uint32_t Name::iterCount() const {
+  assert(kind() == Kind::Iter && "not an iteration name");
+  return static_cast<uint32_t>(Node->A);
+}
+
+bool Name::nodeEquals(const NameNode *A, const NameNode *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->Hash != B->Hash || A->K != B->K || A->A != B->A)
+    return false;
+  return nodeEquals(A->L.get(), B->L.get()) &&
+         nodeEquals(A->R.get(), B->R.get());
+}
+
+int Name::nodeCompare(const NameNode *A, const NameNode *B) {
+  if (A == B)
+    return 0;
+  if (!A)
+    return -1;
+  if (!B)
+    return 1;
+  if (A->K != B->K)
+    return A->K < B->K ? -1 : 1;
+  if (A->A != B->A)
+    return A->A < B->A ? -1 : 1;
+  if (int C = nodeCompare(A->L.get(), B->L.get()))
+    return C;
+  return nodeCompare(A->R.get(), B->R.get());
+}
+
+bool Name::operator==(const Name &O) const {
+  return nodeEquals(Node.get(), O.Node.get());
+}
+
+bool Name::operator<(const Name &O) const {
+  uint64_t HA = hash(), HB = O.hash();
+  if (HA != HB)
+    return HA < HB;
+  return nodeCompare(Node.get(), O.Node.get()) < 0;
+}
+
+std::string Name::nodeToString(const NameNode *N) {
+  if (!N)
+    return "<invalid>";
+  std::ostringstream OS;
+  switch (N->K) {
+  case Kind::Loc:
+    OS << "l" << N->A;
+    break;
+  case Kind::Fn:
+    OS << fnKindName(static_cast<FnKind>(N->A));
+    break;
+  case Kind::Num:
+    OS << N->A;
+    break;
+  case Kind::ValHash:
+    OS << "#" << std::hex << N->A;
+    break;
+  case Kind::Pair:
+    OS << nodeToString(N->L.get()) << "." << nodeToString(N->R.get());
+    break;
+  case Kind::Iter:
+    OS << nodeToString(N->L.get()) << "(" << N->A << ")";
+    break;
+  }
+  return OS.str();
+}
+
+std::string Name::toString() const { return nodeToString(Node.get()); }

@@ -1,0 +1,104 @@
+//===-- daig/name.h - DAIG name algebra -------------------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The name algebra of Fig. 6: names identify DAIG reference cells and
+/// memo-table entries for reuse across edits and queries. Names are
+///
+///   n ::= ℓ | f | i | v | n1·n2 | n^(i)
+///
+/// i.e. locations, analysis-function symbols, integers, value hashes,
+/// products, and iteration-primed names. We generalize the paper's single
+/// iteration count to *nested* counts (an n^(i) wrapper per enclosing loop,
+/// outermost-first) so that demanded unrolling of nested loops never
+/// collides: the k-th unrolling of an outer loop resets inner loops to their
+/// initial two iterates under the outer count k.
+///
+/// Names are immutable hash-consed-style trees with precomputed hashes,
+/// structural equality, and a total order (for deterministic iteration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DAIG_NAME_H
+#define DAI_DAIG_NAME_H
+
+#include "cfg/cfg.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+/// Analysis-function symbols labelling computation edges (Fig. 6).
+enum class FnKind : uint8_t {
+  Transfer, ///< ⟦·⟧♯
+  Join,     ///< ⊔
+  Widen,    ///< ∇
+  Fix,      ///< fix — demanded fixed-point marker
+};
+
+const char *fnKindName(FnKind F);
+
+/// An immutable, structurally hashed DAIG name.
+class Name {
+public:
+  enum class Kind : uint8_t { Loc, Fn, Num, ValHash, Pair, Iter };
+
+  Name() = default; ///< Invalid name; valid() is false.
+
+  static Name loc(Loc L);
+  static Name fn(FnKind F);
+  static Name num(uint64_t N);
+  static Name valHash(uint64_t H);
+  static Name pair(const Name &L, const Name &R);
+  /// n^(Count): one iteration wrapper (innermost loop is the outermost
+  /// wrapper; see mkStateName in the DAIG builder).
+  static Name iter(const Name &Base, uint32_t Count);
+
+  bool valid() const { return Node != nullptr; }
+  Kind kind() const { return Node->K; }
+  uint64_t hash() const { return Node ? Node->Hash : 0; }
+
+  Loc locId() const;
+  FnKind fnKind() const;
+  uint64_t numValue() const;
+  uint64_t hashValue() const;
+  Name left() const;
+  Name right() const;
+  Name iterBase() const;
+  uint32_t iterCount() const;
+
+  bool operator==(const Name &O) const;
+  bool operator!=(const Name &O) const { return !(*this == O); }
+  /// Total order: by hash, tie-broken structurally (deterministic).
+  bool operator<(const Name &O) const;
+
+  std::string toString() const;
+
+private:
+  struct NameNode {
+    Kind K;
+    uint64_t A = 0; ///< Loc id / fn kind / integer / value hash / iter count.
+    std::shared_ptr<const NameNode> L, R;
+    uint64_t Hash = 0;
+  };
+  std::shared_ptr<const NameNode> Node;
+
+  explicit Name(std::shared_ptr<const NameNode> N) : Node(std::move(N)) {}
+  static bool nodeEquals(const NameNode *A, const NameNode *B);
+  static int nodeCompare(const NameNode *A, const NameNode *B);
+  static std::string nodeToString(const NameNode *N);
+};
+
+struct NameHash {
+  size_t operator()(const Name &N) const { return N.hash(); }
+};
+
+} // namespace dai
+
+#endif // DAI_DAIG_NAME_H

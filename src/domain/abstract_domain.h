@@ -1,0 +1,99 @@
+//===-- domain/abstract_domain.h - Abstract interpreter interface -*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic abstract interpreter interface of Section 3: a domain is the
+/// 6-tuple ⟨Σ♯, φ0, ⟦·⟧♯, ⊑, ⊔, ∇⟩, here expressed as a C++20 concept over a
+/// stateless policy type (the analogue of the paper's OCaml functor
+/// argument). Everything downstream — the batch interpreter, the DAIG, and
+/// the interprocedural engine — is parameterized by a type satisfying
+/// AbstractDomain.
+///
+/// Contract (mirrors Section 3):
+///  - Elem is a value type forming a semi-lattice under leq/join with
+///    bottom() as least element.
+///  - transfer(s, φ) interprets statement s as a monotone function; it must
+///    map bottom to bottom.
+///  - widen(a, b) is an upper bound of {a, b} and enforces convergence of
+///    widened increasing chains (Section 3's ∇ contract); for finite-height
+///    domains join itself qualifies.
+///  - equal is semantic equality (used for fix-edge convergence, Fig. 8);
+///    hash must agree with equal (used for memo-table names).
+///  - initialEntry(params) is φ0 for a procedure entry whose parameters are
+///    unknown (used for `main` and for context-insensitive callee analysis).
+///
+/// Interprocedural hooks (Section 7.1): enterCall projects a caller state
+/// into a callee entry state binding actuals to formals; exitCall combines
+/// the caller's pre-call state with the callee's exit state, binding the
+/// call's left-hand side from the callee's __ret.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_ABSTRACT_DOMAIN_H
+#define DAI_DOMAIN_ABSTRACT_DOMAIN_H
+
+#include "lang/stmt.h"
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+// clang-format off
+template <typename D>
+concept AbstractDomain = requires(const typename D::Elem &A,
+                                  const typename D::Elem &B, const Stmt &S,
+                                  const std::vector<std::string> &Params) {
+  typename D::Elem;
+  { D::bottom() } -> std::same_as<typename D::Elem>;
+  { D::initialEntry(Params) } -> std::same_as<typename D::Elem>;
+  { D::transfer(S, A) } -> std::same_as<typename D::Elem>;
+  { D::join(A, B) } -> std::same_as<typename D::Elem>;
+  { D::widen(A, B) } -> std::same_as<typename D::Elem>;
+  { D::leq(A, B) } -> std::same_as<bool>;
+  { D::equal(A, B) } -> std::same_as<bool>;
+  { D::hash(A) } -> std::same_as<uint64_t>;
+  { D::toString(A) } -> std::same_as<std::string>;
+  { D::name() } -> std::convertible_to<const char *>;
+  { D::isBottom(A) } -> std::same_as<bool>;
+  { D::enterCall(A, S, Params) } -> std::same_as<typename D::Elem>;
+  { D::exitCall(A, B, S) } -> std::same_as<typename D::Elem>;
+};
+// clang-format on
+
+/// Three-valued truth used by assume-refinement in several domains.
+enum class TriBool : uint8_t { False, True, Unknown };
+
+inline TriBool triNot(TriBool B) {
+  switch (B) {
+  case TriBool::False: return TriBool::True;
+  case TriBool::True: return TriBool::False;
+  case TriBool::Unknown: return TriBool::Unknown;
+  }
+  return TriBool::Unknown;
+}
+
+inline TriBool triAnd(TriBool A, TriBool B) {
+  if (A == TriBool::False || B == TriBool::False)
+    return TriBool::False;
+  if (A == TriBool::True && B == TriBool::True)
+    return TriBool::True;
+  return TriBool::Unknown;
+}
+
+inline TriBool triOr(TriBool A, TriBool B) {
+  if (A == TriBool::True || B == TriBool::True)
+    return TriBool::True;
+  if (A == TriBool::False && B == TriBool::False)
+    return TriBool::False;
+  return TriBool::Unknown;
+}
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_ABSTRACT_DOMAIN_H

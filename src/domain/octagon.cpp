@@ -1,0 +1,799 @@
+//===-- domain/octagon.cpp - Octagon abstract domain ----------------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domain/octagon.h"
+
+#include "cfg/program.h"
+#include "support/hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace dai;
+
+namespace {
+
+constexpr int64_t Inf = Octagon::kPosInf;
+constexpr size_t npos = static_cast<size_t>(-1);
+
+/// Bound addition with +∞ absorption. Negative overflow is clamped to a
+/// large negative value; with the small constants our statement language
+/// produces this is unreachable, and the clamp errs toward ⊥ detection.
+int64_t bAdd(int64_t A, int64_t B) {
+  if (A == Inf || B == Inf)
+    return Inf;
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return (A > 0) ? Inf : INT64_MIN / 4;
+  return R;
+}
+
+int64_t floorDiv2(int64_t A) {
+  if (A == Inf)
+    return Inf;
+  return A >= 0 ? A / 2 : (A - 1) / 2;
+}
+
+} // namespace
+
+size_t Octagon::varIndex(const std::string &Var) const {
+  auto It = std::lower_bound(Vars.begin(), Vars.end(), Var);
+  if (It == Vars.end() || *It != Var)
+    return npos;
+  return static_cast<size_t>(It - Vars.begin());
+}
+
+void Octagon::resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew) {
+  assert(OldIndexOfNew.size() == NewN && "index map must cover new vars");
+  size_t OldDim = 2 * (M.empty() ? 0 : Vars.size());
+  (void)OldDim;
+  std::vector<int64_t> NewM(4 * NewN * NewN, Inf);
+  size_t NewDim = 2 * NewN;
+  for (size_t I = 0; I < NewDim; ++I)
+    NewM[I * NewDim + I] = 0;
+  size_t OldN = Vars.size();
+  size_t OldDim2 = 2 * OldN;
+  for (size_t A = 0; A < NewN; ++A) {
+    if (OldIndexOfNew[A] == npos)
+      continue;
+    for (size_t B = 0; B < NewN; ++B) {
+      if (OldIndexOfNew[B] == npos)
+        continue;
+      for (int SA = 0; SA < 2; ++SA)
+        for (int SB = 0; SB < 2; ++SB) {
+          size_t OldI = 2 * OldIndexOfNew[A] + SA;
+          size_t OldJ = 2 * OldIndexOfNew[B] + SB;
+          NewM[(2 * A + SA) * NewDim + (2 * B + SB)] =
+              M[OldI * OldDim2 + OldJ];
+        }
+    }
+  }
+  M = std::move(NewM);
+}
+
+void Octagon::addVar(const std::string &Var) {
+  if (varIndex(Var) != npos)
+    return;
+  std::vector<std::string> NewVars = Vars;
+  NewVars.insert(std::lower_bound(NewVars.begin(), NewVars.end(), Var), Var);
+  std::vector<size_t> OldIdx(NewVars.size());
+  for (size_t K = 0; K < NewVars.size(); ++K)
+    OldIdx[K] = (NewVars[K] == Var) ? npos : varIndex(NewVars[K]);
+  resizeFor(NewVars.size(), OldIdx);
+  Vars = std::move(NewVars);
+  // A fresh unconstrained dimension keeps closedness.
+}
+
+void Octagon::forgetAndRemove(const std::string &Var) {
+  size_t Idx = varIndex(Var);
+  if (Idx == npos)
+    return;
+  // Precision requires propagating Var's constraints first.
+  close();
+  if (Bottom)
+    return;
+  std::vector<std::string> NewVars;
+  std::vector<size_t> OldIdx;
+  for (size_t K = 0; K < Vars.size(); ++K) {
+    if (K == Idx)
+      continue;
+    NewVars.push_back(Vars[K]);
+    OldIdx.push_back(K);
+  }
+  resizeFor(NewVars.size(), OldIdx);
+  Vars = std::move(NewVars);
+}
+
+void Octagon::restrictTo(const std::vector<std::string> &Keep) {
+  close();
+  if (Bottom)
+    return;
+  std::vector<std::string> NewVars;
+  std::vector<size_t> OldIdx;
+  for (size_t K = 0; K < Vars.size(); ++K) {
+    if (std::find(Keep.begin(), Keep.end(), Vars[K]) == Keep.end())
+      continue;
+    NewVars.push_back(Vars[K]);
+    OldIdx.push_back(K);
+  }
+  resizeFor(NewVars.size(), OldIdx);
+  Vars = std::move(NewVars);
+}
+
+void Octagon::rename(const std::string &From, const std::string &To) {
+  size_t FromIdx = varIndex(From);
+  assert(FromIdx != npos && "rename source must exist");
+  assert(varIndex(To) == npos && "rename target must be absent");
+  std::vector<std::string> NewVars = Vars;
+  NewVars[FromIdx] = To;
+  std::sort(NewVars.begin(), NewVars.end());
+  std::vector<size_t> OldIdx(NewVars.size());
+  for (size_t K = 0; K < NewVars.size(); ++K)
+    OldIdx[K] = (NewVars[K] == To) ? FromIdx : varIndex(NewVars[K]);
+  resizeFor(NewVars.size(), OldIdx);
+  Vars = std::move(NewVars);
+}
+
+void Octagon::addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
+                            int64_t C) {
+  assert(XIdx < Vars.size() && "constraint variable out of range");
+  size_t Dim = 2 * Vars.size();
+  auto tighten = [&](size_t I, size_t J, int64_t Bound) {
+    int64_t &Slot = M[I * Dim + J];
+    if (Bound < Slot)
+      Slot = Bound;
+  };
+  if (YIdx == npos) {
+    // ±x ≤ C  ⟺  (±x) − (∓x) ≤ 2C.
+    size_t Pos = 2 * XIdx, Neg = 2 * XIdx + 1;
+    if (C >= Inf / 2) {
+      Closed = false;
+      return;
+    }
+    if (PosX)
+      tighten(Neg, Pos, 2 * C);
+    else
+      tighten(Pos, Neg, 2 * C);
+    Closed = false;
+    return;
+  }
+  assert(YIdx < Vars.size() && "constraint variable out of range");
+  assert(XIdx != YIdx && "binary constraints need distinct variables");
+  // (±x) + (±y) ≤ C  ⟺  V_a − V_b ≤ C with V_a = ±x and V_b = ∓y.
+  size_t A = 2 * XIdx + (PosX ? 0 : 1);
+  size_t B = 2 * YIdx + (PosY ? 1 : 0);
+  tighten(B, A, C);
+  tighten(A ^ 1, B ^ 1, C); // coherence
+  Closed = false;
+}
+
+void Octagon::close() {
+  if (Bottom || Closed)
+    return;
+  size_t Dim = 2 * Vars.size();
+  if (Dim == 0) {
+    Closed = true;
+    return;
+  }
+  // Floyd–Warshall shortest paths.
+  for (size_t K = 0; K < Dim; ++K)
+    for (size_t I = 0; I < Dim; ++I) {
+      int64_t IK = M[I * Dim + K];
+      if (IK == Inf)
+        continue;
+      for (size_t J = 0; J < Dim; ++J) {
+        int64_t Cand = bAdd(IK, M[K * Dim + J]);
+        int64_t &Slot = M[I * Dim + J];
+        if (Cand < Slot)
+          Slot = Cand;
+      }
+    }
+  // Strengthening: combine the two unary constraints through i and j̄.
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0; J < Dim; ++J) {
+      int64_t Cand =
+          bAdd(floorDiv2(M[I * Dim + (I ^ 1)]), floorDiv2(M[(J ^ 1) * Dim + J]));
+      int64_t &Slot = M[I * Dim + J];
+      if (Cand < Slot)
+        Slot = Cand;
+    }
+  // Emptiness: a negative self-loop.
+  for (size_t I = 0; I < Dim; ++I) {
+    if (M[I * Dim + I] < 0) {
+      *this = bottomValue();
+      return;
+    }
+    M[I * Dim + I] = 0;
+  }
+  Closed = true;
+}
+
+Interval Octagon::boundsOf(const std::string &Var) const {
+  assert(!Bottom && "boundsOf on ⊥");
+  size_t Idx = varIndex(Var);
+  if (Idx == npos)
+    return Interval::top();
+  size_t Dim = 2 * Vars.size();
+  int64_t UpperRaw = M[(2 * Idx + 1) * Dim + (2 * Idx)]; // 2x ≤ UpperRaw
+  int64_t LowerRaw = M[(2 * Idx) * Dim + (2 * Idx + 1)]; // −2x ≤ LowerRaw
+  int64_t Hi = (UpperRaw == Inf) ? Interval::kPosInf : floorDiv2(UpperRaw);
+  int64_t Lo = (LowerRaw == Inf) ? Interval::kNegInf : -floorDiv2(LowerRaw);
+  return Interval::range(Lo, Hi);
+}
+
+bool Octagon::entailsEntrywise(const Octagon &O) const {
+  // "this" must be closed; checks closed(this) ⊑ O entrywise over O's vars.
+  size_t Dim = 2 * Vars.size();
+  size_t ODim = 2 * O.Vars.size();
+  for (size_t A = 0; A < O.Vars.size(); ++A) {
+    size_t MyA = varIndex(O.Vars[A]);
+    for (size_t B = 0; B < O.Vars.size(); ++B) {
+      size_t MyB = varIndex(O.Vars[B]);
+      for (int SA = 0; SA < 2; ++SA)
+        for (int SB = 0; SB < 2; ++SB) {
+          int64_t Theirs = O.M[(2 * A + SA) * ODim + (2 * B + SB)];
+          if (Theirs == Inf)
+            continue;
+          int64_t Mine = Inf;
+          if (2 * A + SA == 2 * B + SB)
+            Mine = 0;
+          else if (MyA != npos && MyB != npos)
+            Mine = M[(2 * MyA + SA) * Dim + (2 * MyB + SB)];
+          if (Mine > Theirs)
+            return false;
+        }
+    }
+  }
+  return true;
+}
+
+uint64_t Octagon::hash() const {
+  if (Bottom)
+    return 0x0c7a60b07700ULL;
+  uint64_t H = 0x8f1bbcdc12345678ULL;
+  for (const auto &V : Vars)
+    H = hashCombine(H, hashString(V));
+  for (int64_t E : M)
+    H = hashCombine(H, static_cast<uint64_t>(E));
+  return H;
+}
+
+std::string Octagon::toString() const {
+  if (Bottom)
+    return "⊥";
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  size_t Dim = 2 * Vars.size();
+  auto emit = [&](const std::string &Text) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Text;
+  };
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    Interval B = boundsOf(Vars[I]);
+    if (!B.isTop())
+      emit(Vars[I] + " in " + B.toString());
+    for (size_t J = I + 1; J < Vars.size(); ++J) {
+      // x_J − x_I ≤ c and x_I + x_J ≤ c forms, both signs.
+      int64_t Diff = M[(2 * I) * Dim + (2 * J)];
+      if (Diff != Inf)
+        emit(Vars[J] + " - " + Vars[I] + " <= " + std::to_string(Diff));
+      int64_t RevDiff = M[(2 * J) * Dim + (2 * I)];
+      if (RevDiff != Inf)
+        emit(Vars[I] + " - " + Vars[J] + " <= " + std::to_string(RevDiff));
+      int64_t Sum = M[(2 * I + 1) * Dim + (2 * J)];
+      if (Sum != Inf)
+        emit(Vars[I] + " + " + Vars[J] + " <= " + std::to_string(Sum));
+      int64_t NegSum = M[(2 * I) * Dim + (2 * J + 1)];
+      if (NegSum != Inf)
+        emit("-" + Vars[I] + " - " + Vars[J] + " <= " + std::to_string(NegSum));
+    }
+  }
+  OS << "}";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// OctagonDomain
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Linear form Σ coeff·var + Const; Ok is false for non-linear expressions.
+struct LinForm {
+  bool Ok = false;
+  std::map<std::string, int64_t> Coeffs;
+  int64_t Const = 0;
+
+  static LinForm fail() { return LinForm(); }
+  static LinForm constant(int64_t C) {
+    LinForm F;
+    F.Ok = true;
+    F.Const = C;
+    return F;
+  }
+  LinForm scaled(int64_t K) const {
+    LinForm F = *this;
+    F.Const *= K;
+    for (auto &[V, C] : F.Coeffs)
+      C *= K;
+    std::erase_if(F.Coeffs, [](const auto &P) { return P.second == 0; });
+    return F;
+  }
+  LinForm plus(const LinForm &O, int64_t Sign) const {
+    LinForm F = *this;
+    F.Const += Sign * O.Const;
+    for (const auto &[V, C] : O.Coeffs) {
+      F.Coeffs[V] += Sign * C;
+      if (F.Coeffs[V] == 0)
+        F.Coeffs.erase(V);
+    }
+    return F;
+  }
+};
+
+LinForm linearize(const ExprPtr &E) {
+  if (!E)
+    return LinForm::fail();
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return LinForm::constant(E->IntVal);
+  case ExprKind::BoolLit:
+    return LinForm::constant(E->BoolVal ? 1 : 0);
+  case ExprKind::Var: {
+    LinForm F;
+    F.Ok = true;
+    F.Coeffs[E->Name] = 1;
+    return F;
+  }
+  case ExprKind::Unary: {
+    if (E->UOp != UnaryOp::Neg)
+      return LinForm::fail();
+    LinForm Sub = linearize(E->Lhs);
+    return Sub.Ok ? Sub.scaled(-1) : LinForm::fail();
+  }
+  case ExprKind::Binary: {
+    if (E->BOp == BinaryOp::Add || E->BOp == BinaryOp::Sub) {
+      LinForm L = linearize(E->Lhs), R = linearize(E->Rhs);
+      if (!L.Ok || !R.Ok)
+        return LinForm::fail();
+      return L.plus(R, E->BOp == BinaryOp::Add ? 1 : -1);
+    }
+    if (E->BOp == BinaryOp::Mul) {
+      LinForm L = linearize(E->Lhs), R = linearize(E->Rhs);
+      if (L.Ok && L.Coeffs.empty() && R.Ok)
+        return R.scaled(L.Const);
+      if (R.Ok && R.Coeffs.empty() && L.Ok)
+        return L.scaled(R.Const);
+      return LinForm::fail();
+    }
+    return LinForm::fail();
+  }
+  default:
+    return LinForm::fail();
+  }
+}
+
+/// Projects the octagon onto per-variable intervals (for the interval
+/// fallback on non-octagonal expressions). Requires \p O closed.
+IntervalState toIntervalState(const Octagon &O) {
+  IntervalState S;
+  if (O.isBottom()) {
+    S.Bottom = true;
+    return S;
+  }
+  for (const auto &V : O.vars())
+    S.set(V, VarAbs::numeric(O.boundsOf(V)));
+  return S;
+}
+
+/// Drops unconstrained dimensions so structurally distinct but equal values
+/// share a representation (helps memo-table reuse; equality itself is
+/// semantic). Requires closedness for meaningful results.
+void normalize(Octagon &O) {
+  O.close();
+  if (O.isBottom())
+    return;
+  size_t Dim = 2 * O.numVars();
+  std::vector<std::string> Keep;
+  for (size_t K = 0; K < O.numVars(); ++K) {
+    bool Constrained = false;
+    for (size_t J = 0; J < Dim && !Constrained; ++J) {
+      for (int S = 0; S < 2 && !Constrained; ++S) {
+        size_t I = 2 * K + S;
+        if (I == J)
+          continue;
+        if (O.at(I, J) != Inf || O.at(J, I) != Inf)
+          Constrained = true;
+      }
+    }
+    if (Constrained)
+      Keep.push_back(O.vars()[K]);
+  }
+  if (Keep.size() != O.numVars())
+    O.restrictTo(Keep);
+}
+
+/// Assigns x := e precisely for octagonal right-hand sides, with an interval
+/// fallback otherwise. \p O must be closed on entry; closed on exit.
+void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
+  LinForm F = linearize(E);
+  bool Octagonal = F.Ok && F.Coeffs.size() <= 1 &&
+                   (F.Coeffs.empty() || std::abs(F.Coeffs.begin()->second) == 1);
+  if (Octagonal && F.Coeffs.empty()) {
+    // x := c.
+    O.forgetAndRemove(X);
+    O.addVar(X);
+    size_t XI = O.varIndex(X);
+    O.addConstraint(XI, /*PosX=*/true, npos, true, F.Const);
+    O.addConstraint(XI, /*PosX=*/false, npos, true, -F.Const);
+    O.close();
+    return;
+  }
+  if (Octagonal) {
+    const std::string &Y = F.Coeffs.begin()->first;
+    bool PosY = F.Coeffs.begin()->second > 0;
+    if (Y != X) {
+      if (O.varIndex(Y) == npos)
+        O.addVar(Y);
+      O.forgetAndRemove(X);
+      O.addVar(X);
+      size_t XI = O.varIndex(X), YI = O.varIndex(Y);
+      // x − (±y) ≤ c and −x + (±y) ≤ −c.
+      O.addConstraint(XI, true, YI, !PosY, F.Const);
+      O.addConstraint(XI, false, YI, PosY, -F.Const);
+      O.close();
+      return;
+    }
+    // x := ±x + c via a temporary dimension.
+    std::string Tmp = "__oct_tmp";
+    assert(O.varIndex(Tmp) == npos && "temporary name collision");
+    O.addVar(Tmp);
+    size_t TI = O.varIndex(Tmp), XI = O.varIndex(X);
+    O.addConstraint(TI, true, XI, !PosY, F.Const);
+    O.addConstraint(TI, false, XI, PosY, -F.Const);
+    O.close();
+    O.forgetAndRemove(X);
+    O.rename(Tmp, X);
+    return;
+  }
+  // Interval fallback: bound x by the interval of e.
+  Interval I = IntervalDomain::eval(E, toIntervalState(O)).Num;
+  O.forgetAndRemove(X);
+  if (!I.isTop() && !I.isEmpty()) {
+    O.addVar(X);
+    size_t XI = O.varIndex(X);
+    if (I.hi() != Interval::kPosInf)
+      O.addConstraint(XI, true, npos, true, I.hi());
+    if (I.lo() != Interval::kNegInf)
+      O.addConstraint(XI, false, npos, true, -I.lo());
+    O.close();
+  }
+}
+
+/// Adds the linear inequality F ≤ 0 when it is octagonal; returns false if
+/// the form is not representable (caller falls back to intervals).
+bool addLinearLeqZero(Octagon &O, const LinForm &F) {
+  if (!F.Ok || F.Coeffs.size() > 2)
+    return false;
+  for (const auto &[V, C] : F.Coeffs)
+    if (C != 1 && C != -1)
+      return false;
+  int64_t Bound = -F.Const; // Σ ±v ≤ −Const.
+  if (F.Coeffs.empty()) {
+    if (0 > Bound)
+      O = Octagon::bottomValue();
+    return true;
+  }
+  for (const auto &[V, C] : F.Coeffs) {
+    (void)C;
+    if (O.varIndex(V) == npos)
+      O.addVar(V);
+  }
+  auto It = F.Coeffs.begin();
+  if (F.Coeffs.size() == 1) {
+    O.addConstraint(O.varIndex(It->first), It->second > 0, npos, true, Bound);
+  } else {
+    auto It2 = std::next(It);
+    O.addConstraint(O.varIndex(It->first), It->second > 0,
+                    O.varIndex(It2->first), It2->second > 0, Bound);
+  }
+  O.close();
+  return true;
+}
+
+} // namespace
+
+bool OctagonDomain::isBottom(const Elem &A) {
+  if (A.Bottom)
+    return true;
+  if (A.isClosed())
+    return false;
+  Octagon C = A;
+  C.close();
+  return C.isBottom();
+}
+
+Octagon OctagonDomain::initialEntry(const std::vector<std::string> &) {
+  return Octagon::top();
+}
+
+Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
+  if (In.Bottom || !Cond)
+    return In;
+  switch (Cond->Kind) {
+  case ExprKind::BoolLit:
+    return Cond->BoolVal ? In : bottom();
+  case ExprKind::IntLit:
+    return Cond->IntVal != 0 ? In : bottom();
+  case ExprKind::Unary:
+    if (Cond->UOp == UnaryOp::Not)
+      return assume(In, negate(Cond->Lhs));
+    return In;
+  case ExprKind::Var:
+    return assume(In, Expr::mkBinary(BinaryOp::Ne, Cond, Expr::mkInt(0)));
+  case ExprKind::Binary: {
+    if (Cond->BOp == BinaryOp::And)
+      return assume(assume(In, Cond->Lhs), Cond->Rhs);
+    if (Cond->BOp == BinaryOp::Or)
+      return join(assume(In, Cond->Lhs), assume(In, Cond->Rhs));
+    if (!isComparison(Cond->BOp))
+      return In;
+    Octagon Out = In;
+    Out.close();
+    if (Out.isBottom())
+      return Out;
+    // Null comparisons carry no octagonal content.
+    if ((Cond->Lhs && Cond->Lhs->Kind == ExprKind::NullLit) ||
+        (Cond->Rhs && Cond->Rhs->Kind == ExprKind::NullLit))
+      return Out;
+    LinForm L = linearize(Cond->Lhs), R = linearize(Cond->Rhs);
+    if (L.Ok && R.Ok) {
+      LinForm Diff = L.plus(R, -1); // L − R
+      bool Handled = true;
+      switch (Cond->BOp) {
+      case BinaryOp::Le:
+        Handled = addLinearLeqZero(Out, Diff);
+        break;
+      case BinaryOp::Lt:
+        Handled = addLinearLeqZero(Out, Diff.plus(LinForm::constant(1), 1));
+        break;
+      case BinaryOp::Ge:
+        Handled = addLinearLeqZero(Out, Diff.scaled(-1));
+        break;
+      case BinaryOp::Gt:
+        Handled = addLinearLeqZero(
+            Out, Diff.scaled(-1).plus(LinForm::constant(1), 1));
+        break;
+      case BinaryOp::Eq:
+        Handled = addLinearLeqZero(Out, Diff) &&
+                  (Out.isBottom() || addLinearLeqZero(Out, Diff.scaled(-1)));
+        break;
+      case BinaryOp::Ne:
+        Handled = false; // disequality: fall through to interval check
+        break;
+      default:
+        Handled = false;
+      }
+      if (Handled)
+        return Out;
+    }
+    // Fallback: consult the interval projection; import refined unary
+    // bounds and detect definite falsity.
+    IntervalState Proj = toIntervalState(Out);
+    IntervalState Refined = IntervalDomain::assume(Proj, Cond);
+    if (Refined.Bottom)
+      return bottom();
+    for (const auto &[Var, V] : Refined.Env) {
+      if (Out.varIndex(Var) == npos)
+        continue;
+      size_t Idx = Out.varIndex(Var);
+      if (V.Num.hi() != Interval::kPosInf)
+        Out.addConstraint(Idx, true, npos, true, V.Num.hi());
+      if (V.Num.lo() != Interval::kNegInf)
+        Out.addConstraint(Idx, false, npos, true, -V.Num.lo());
+    }
+    Out.close();
+    return Out;
+  }
+  default:
+    return In;
+  }
+}
+
+Octagon OctagonDomain::transfer(const Stmt &S, const Elem &In) {
+  if (In.Bottom)
+    return In;
+  Octagon Out = In;
+  Out.close();
+  if (Out.isBottom())
+    return Out;
+  switch (S.Kind) {
+  case StmtKind::Skip:
+  case StmtKind::Print:
+  case StmtKind::FieldWrite:
+  case StmtKind::ArrayWrite: // array contents are not tracked relationally
+    return Out;
+  case StmtKind::Alloc:
+  case StmtKind::Call:
+    Out.forgetAndRemove(S.Lhs);
+    normalize(Out);
+    return Out;
+  case StmtKind::Assign:
+    evalAssign(Out, S.Lhs, S.Rhs);
+    normalize(Out);
+    return Out;
+  case StmtKind::Assume: {
+    Octagon R = assume(Out, S.Rhs);
+    normalize(R);
+    return R;
+  }
+  }
+  return Out;
+}
+
+Octagon OctagonDomain::join(const Elem &A, const Elem &B) {
+  if (isBottom(A))
+    return B;
+  if (isBottom(B))
+    return A;
+  Octagon CA = A, CB = B;
+  CA.close();
+  CB.close();
+  if (CA.isBottom())
+    return CB;
+  if (CB.isBottom())
+    return CA;
+  // Join over the common variable set (absent = unconstrained).
+  std::vector<std::string> Common;
+  for (const auto &V : CA.vars())
+    if (CB.varIndex(V) != npos)
+      Common.push_back(V);
+  CA.restrictTo(Common);
+  CB.restrictTo(Common);
+  size_t Dim = 2 * Common.size();
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0; J < Dim; ++J)
+      CA.set(I, J, std::max(CA.at(I, J), CB.at(I, J)));
+  // Elementwise max of two closed DBMs remains closed.
+  CA.Closed = true;
+  normalize(CA);
+  return CA;
+}
+
+Octagon OctagonDomain::widen(const Elem &Prev, const Elem &Next) {
+  if (Prev.Bottom)
+    return Next;
+  if (isBottom(Next))
+    return Prev;
+  Octagon NC = Next;
+  NC.close();
+  if (NC.isBottom())
+    return Prev;
+  // The previous iterate must stay UNCLOSED on the left of ∇ for
+  // convergence; we use its stored (possibly raw) matrix as-is.
+  Octagon P = Prev;
+  std::vector<std::string> Common;
+  for (const auto &V : P.vars())
+    if (NC.varIndex(V) != npos)
+      Common.push_back(V);
+  // Drop dimensions without closing (dropping is sound for widening).
+  {
+    std::vector<std::string> NewVars;
+    std::vector<size_t> OldIdx;
+    for (const auto &V : Common) {
+      NewVars.push_back(V);
+      OldIdx.push_back(P.varIndex(V));
+    }
+    // Rebuild via restrictTo semantics but on the raw matrix: emulate by
+    // manual reindex through a temporary closed-flag preservation.
+    Octagon Raw = P;
+    bool WasClosed = Raw.Closed;
+    Raw.Closed = true; // suppress closing inside restrictTo
+    Raw.restrictTo(NewVars);
+    Raw.Closed = false;
+    (void)WasClosed;
+    P = Raw;
+  }
+  NC.restrictTo(Common);
+  size_t Dim = 2 * Common.size();
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0; J < Dim; ++J) {
+      if (NC.at(I, J) > P.at(I, J))
+        P.set(I, J, Inf);
+      if (I == J)
+        P.set(I, J, 0);
+    }
+  P.Closed = false;
+  return P;
+}
+
+bool OctagonDomain::leq(const Elem &A, const Elem &B) {
+  if (isBottom(A))
+    return true;
+  if (isBottom(B))
+    return false;
+  Octagon CA = A;
+  CA.close();
+  if (CA.isBottom())
+    return true;
+  return CA.entailsEntrywise(B);
+}
+
+bool OctagonDomain::equal(const Elem &A, const Elem &B) {
+  return leq(A, B) && leq(B, A);
+}
+
+uint64_t OctagonDomain::hash(const Elem &A) {
+  Octagon N = A;
+  normalize(N);
+  return N.hash();
+}
+
+std::string OctagonDomain::toString(const Elem &A) {
+  Octagon N = A;
+  N.close();
+  return N.toString();
+}
+
+Octagon OctagonDomain::enterCall(const Elem &Caller, const Stmt &CallSite,
+                                 const std::vector<std::string> &CalleeParams) {
+  if (isBottom(Caller))
+    return bottom();
+  assert(CallSite.Kind == StmtKind::Call && "enterCall requires a call site");
+  // Bind temporaries to the actuals inside the caller state, project onto
+  // them, then rename to the formals — this preserves relations *among*
+  // parameters (e.g. f(i, i+1) enters with p1 − p0 = 1).
+  Octagon Tmp = Caller;
+  Tmp.close();
+  if (Tmp.isBottom())
+    return bottom();
+  std::vector<std::string> TmpNames;
+  for (size_t I = 0, E = CalleeParams.size(); I != E; ++I) {
+    std::string TmpName = "__arg" + std::to_string(I);
+    TmpNames.push_back(TmpName);
+    if (I < CallSite.Args.size())
+      evalAssign(Tmp, TmpName, CallSite.Args[I]);
+  }
+  Tmp.restrictTo(TmpNames);
+  for (size_t I = 0, E = CalleeParams.size(); I != E; ++I)
+    if (Tmp.varIndex(TmpNames[I]) != npos)
+      Tmp.rename(TmpNames[I], CalleeParams[I]);
+  normalize(Tmp);
+  return Tmp;
+}
+
+Octagon OctagonDomain::exitCall(const Elem &Caller, const Elem &CalleeExit,
+                                const Stmt &CallSite) {
+  if (isBottom(Caller))
+    return bottom();
+  if (isBottom(CalleeExit))
+    return bottom(); // The call never returns.
+  assert(CallSite.Kind == StmtKind::Call && "exitCall requires a call site");
+  Octagon Out = Caller;
+  Out.close();
+  Octagon CE = CalleeExit;
+  CE.close();
+  // Import the return value's interval (relations between callee locals and
+  // caller locals are not representable without a combined frame).
+  Interval Ret = CE.boundsOf(RetVar);
+  Out.forgetAndRemove(CallSite.Lhs);
+  if (!Ret.isTop() && !Ret.isEmpty()) {
+    Out.addVar(CallSite.Lhs);
+    size_t Idx = Out.varIndex(CallSite.Lhs);
+    if (Ret.hi() != Interval::kPosInf)
+      Out.addConstraint(Idx, true, npos, true, Ret.hi());
+    if (Ret.lo() != Interval::kNegInf)
+      Out.addConstraint(Idx, false, npos, true, -Ret.lo());
+    Out.close();
+  }
+  normalize(Out);
+  return Out;
+}

@@ -1,0 +1,136 @@
+//===-- domain/octagon.h - Octagon abstract domain --------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The octagon abstract domain (Miné 2006): relational invariants of the
+/// form ±x ± y ≤ c, represented as a difference-bound matrix (DBM) over the
+/// doubled variable set {+v, −v} with strong closure as the canonical form.
+/// This is the domain the paper uses for its scalability study (Section 7.3,
+/// Fig. 10), there provided by APRON; here implemented from scratch (see
+/// DESIGN.md, substitutions). Its deliberately expensive O(n³) closure makes
+/// domain operations dominate analysis latency, as in the paper.
+///
+/// Representation notes:
+///  - Matrix entry (i, j) bounds V_j − V_i ≤ M[i][j], where V_{2k} = +v_k and
+///    V_{2k+1} = −v_k; kPosInf encodes +∞.
+///  - The variable set is dynamic: join/widen/leq unify to the common
+///    variable set (absent variables are unconstrained).
+///  - Values are kept strongly closed except widening results, which must
+///    stay unclosed to guarantee convergence (the classic octagon widening
+///    caveat); closure is re-established lazily by consumers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_OCTAGON_H
+#define DAI_DOMAIN_OCTAGON_H
+
+#include "domain/abstract_domain.h"
+#include "domain/interval.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+/// An octagon abstract value: ⊥, or a DBM over a sorted variable list.
+class Octagon {
+public:
+  static constexpr int64_t kPosInf = INT64_MAX;
+
+  /// Constructs ⊤ over the empty variable set.
+  Octagon() = default;
+
+  static Octagon top() { return Octagon(); }
+  static Octagon bottomValue() {
+    Octagon O;
+    O.Bottom = true;
+    return O;
+  }
+
+  bool isBottom() const { return Bottom; }
+  const std::vector<std::string> &vars() const { return Vars; }
+
+  /// Number of tracked variables.
+  size_t numVars() const { return Vars.size(); }
+
+  /// Index of \p Var in Vars, or npos.
+  size_t varIndex(const std::string &Var) const;
+
+  /// Adds a dimension for \p Var (unconstrained) if absent.
+  void addVar(const std::string &Var);
+
+  /// Removes every constraint involving \p Var and drops its dimension.
+  void forgetAndRemove(const std::string &Var);
+
+  /// Projects onto \p Keep (every other dimension is dropped). Requires a
+  /// closed receiver for precision; callers should close() first.
+  void restrictTo(const std::vector<std::string> &Keep);
+
+  /// Renames variable \p From to \p To (To must be absent).
+  void rename(const std::string &From, const std::string &To);
+
+  /// Raw matrix access; I, J < 2*numVars().
+  int64_t at(size_t I, size_t J) const { return M[I * 2 * Vars.size() + J]; }
+  void set(size_t I, size_t J, int64_t V) { M[I * 2 * Vars.size() + J] = V; }
+
+  /// Tightens with constraint  ±x ± y ≤ C  (PosX: +x else −x; likewise
+  /// PosY). Pass YIdx == npos for the unary constraint ±x ≤ C.
+  void addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
+                     int64_t C);
+
+  /// Strong closure (Floyd–Warshall + unary strengthening); detects
+  /// emptiness and collapses to ⊥. Idempotent.
+  void close();
+  bool isClosed() const { return Closed; }
+
+  /// Interval of variable \p Var implied by this octagon (requires closed).
+  Interval boundsOf(const std::string &Var) const;
+
+  /// Structural helpers used by the domain policy.
+  bool entailsEntrywise(const Octagon &O) const;
+  uint64_t hash() const;
+  std::string toString() const;
+
+  bool Bottom = false;
+  bool Closed = true; ///< The empty DBM is trivially closed.
+
+private:
+  std::vector<std::string> Vars; ///< Sorted.
+  std::vector<int64_t> M;        ///< (2n)² row-major.
+
+  void resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew);
+};
+
+/// The octagon abstract domain policy (satisfies AbstractDomain).
+struct OctagonDomain {
+  using Elem = Octagon;
+
+  static Elem bottom() { return Octagon::bottomValue(); }
+  static Elem initialEntry(const std::vector<std::string> &Params);
+  static Elem transfer(const Stmt &S, const Elem &In);
+  static Elem join(const Elem &A, const Elem &B);
+  static Elem widen(const Elem &Prev, const Elem &Next);
+  static bool leq(const Elem &A, const Elem &B);
+  static bool equal(const Elem &A, const Elem &B);
+  static uint64_t hash(const Elem &A);
+  static std::string toString(const Elem &A);
+  static const char *name() { return "octagon"; }
+  static bool isBottom(const Elem &A);
+
+  static Elem enterCall(const Elem &Caller, const Stmt &CallSite,
+                        const std::vector<std::string> &CalleeParams);
+  static Elem exitCall(const Elem &Caller, const Elem &CalleeExit,
+                       const Stmt &CallSite);
+
+  /// Refines \p In under the assumption \p Cond (octagonal atoms are
+  /// tightened exactly; others fall back to interval reasoning).
+  static Elem assume(const Elem &In, const ExprPtr &Cond);
+};
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_OCTAGON_H

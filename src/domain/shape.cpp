@@ -1,0 +1,709 @@
+//===-- domain/shape.cpp - Separation-logic list shape domain -------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domain/shape.h"
+
+#include "support/hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+using namespace dai;
+
+bool SymHeap::operator<(const SymHeap &O) const {
+  if (Env != O.Env)
+    return Env < O.Env;
+  if (Atoms != O.Atoms)
+    return Atoms < O.Atoms;
+  return Diseqs < O.Diseqs;
+}
+
+Sym SymHeap::symOf(const std::string &Var) {
+  auto It = Env.find(Var);
+  if (It != Env.end())
+    return It->second;
+  Sym S = fresh();
+  Env[Var] = S;
+  return S;
+}
+
+const HeapAtom *SymHeap::atomAt(Sym S) const {
+  for (const auto &A : Atoms)
+    if (A.Src == S)
+      return &A;
+  return nullptr;
+}
+
+std::string SymHeap::toString() const {
+  std::ostringstream OS;
+  bool First = true;
+  auto sep = [&]() {
+    if (!First)
+      OS << " * ";
+    First = false;
+  };
+  auto symName = [](Sym S) {
+    return S == NilSym ? std::string("nil") : "a" + std::to_string(S);
+  };
+  for (const auto &[Var, S] : Env) {
+    sep();
+    OS << Var << "=" << symName(S);
+  }
+  for (const auto &A : Atoms) {
+    sep();
+    if (A.K == HeapAtom::PtsTo)
+      OS << symName(A.Src) << ".next->" << symName(A.Dst);
+    else
+      OS << "lseg(" << symName(A.Src) << ", " << symName(A.Dst) << ")";
+  }
+  for (const auto &[A, B] : Diseqs) {
+    sep();
+    OS << symName(A) << " != " << symName(B);
+  }
+  if (First)
+    OS << "emp";
+  return OS.str();
+}
+
+namespace {
+
+void eraseAtomAt(SymHeap &H, Sym S) {
+  std::erase_if(H.Atoms, [&](const HeapAtom &A) { return A.Src == S; });
+}
+
+void insertAtom(SymHeap &H, HeapAtom A) {
+  H.Atoms.push_back(A);
+  std::sort(H.Atoms.begin(), H.Atoms.end());
+}
+
+/// Resolves structural inconsistencies after a substitution: nil-sourced
+/// atoms and colliding sources. May case-split (two lsegs at one source).
+/// Returns every consistent resolution.
+std::vector<SymHeap> normalizeHeap(SymHeap H);
+
+/// Applies the equality A = B: substitutes and re-normalizes. Returns every
+/// consistent outcome (empty: the disjunct is contradictory).
+std::vector<SymHeap> substUnify(SymHeap H, Sym A, Sym B) {
+  if (A == B)
+    return {std::move(H)};
+  if (H.distinct(A, B))
+    return {};
+  Sym Keep = std::min(A, B), Drop = std::max(A, B);
+  for (auto &[Var, S] : H.Env)
+    if (S == Drop)
+      S = Keep;
+  for (auto &Atom : H.Atoms) {
+    if (Atom.Src == Drop)
+      Atom.Src = Keep;
+    if (Atom.Dst == Drop)
+      Atom.Dst = Keep;
+  }
+  std::set<std::pair<Sym, Sym>> NewDiseqs;
+  for (auto [X, Y] : H.Diseqs) {
+    if (X == Drop)
+      X = Keep;
+    if (Y == Drop)
+      Y = Keep;
+    if (X == Y)
+      return {}; // x != x: contradiction
+    NewDiseqs.insert(X < Y ? std::make_pair(X, Y) : std::make_pair(Y, X));
+  }
+  H.Diseqs = std::move(NewDiseqs);
+  std::sort(H.Atoms.begin(), H.Atoms.end());
+  return normalizeHeap(std::move(H));
+}
+
+std::vector<SymHeap> normalizeHeap(SymHeap H) {
+  // Nil-sourced atoms: nil.next ↦ _ is false; lseg(nil, d) forces d = nil.
+  for (size_t I = 0; I < H.Atoms.size(); ++I) {
+    const HeapAtom &A = H.Atoms[I];
+    if (A.Src != NilSym)
+      continue;
+    if (A.K == HeapAtom::PtsTo)
+      return {}; // the nil cell cannot be allocated
+    Sym Dst = A.Dst;
+    H.Atoms.erase(H.Atoms.begin() + static_cast<ptrdiff_t>(I));
+    return substUnify(std::move(H), NilSym, Dst);
+  }
+  // Colliding sources: separation allows one cell owner per address.
+  for (size_t I = 0; I + 1 < H.Atoms.size(); ++I) {
+    if (H.Atoms[I].Src != H.Atoms[I + 1].Src)
+      continue;
+    HeapAtom A = H.Atoms[I], B = H.Atoms[I + 1];
+    if (A.K == HeapAtom::PtsTo && B.K == HeapAtom::PtsTo)
+      return {}; // s ↦ x ∗ s ↦ y is unsatisfiable
+    if (A.K == HeapAtom::PtsTo || B.K == HeapAtom::PtsTo) {
+      // PtsTo ∗ lseg at one source: the lseg must be empty.
+      const HeapAtom &Seg = (A.K == HeapAtom::Lseg) ? A : B;
+      SymHeap H2 = H;
+      std::erase_if(H2.Atoms, [&](const HeapAtom &X) { return X == Seg; });
+      return substUnify(std::move(H2), Seg.Src, Seg.Dst);
+    }
+    // lseg ∗ lseg at one source: one of them is empty — case split.
+    std::vector<SymHeap> Out;
+    for (const HeapAtom &Empty : {A, B}) {
+      SymHeap H2 = H;
+      auto It = std::find(H2.Atoms.begin(), H2.Atoms.end(), Empty);
+      H2.Atoms.erase(It);
+      for (auto &R : substUnify(std::move(H2), Empty.Src, Empty.Dst))
+        Out.push_back(std::move(R));
+    }
+    return Out;
+  }
+  return {std::move(H)};
+}
+
+/// Result of materializing a points-to at a symbol: the consistent cases,
+/// plus whether some case could not be proven safe.
+struct MatCases {
+  std::vector<std::pair<SymHeap, Sym>> Cases; ///< (heap with S ↦ dst, dst)
+  bool MayErr = false;
+};
+
+void materializeInto(const SymHeap &H, Sym S, MatCases &Out, int Depth = 0) {
+  if (S == NilSym || Depth > 64) {
+    Out.MayErr = true; // null dereference (or pathological nesting)
+    return;
+  }
+  const HeapAtom *A = H.atomAt(S);
+  if (!A) {
+    Out.MayErr = true; // dereference of unknown memory
+    return;
+  }
+  if (A->K == HeapAtom::PtsTo) {
+    Out.Cases.emplace_back(H, A->Dst);
+    return;
+  }
+  // lseg(S, D): empty (S = D, retry) or nonempty (unfold one cell).
+  Sym D = A->Dst;
+  {
+    SymHeap Empty = H;
+    eraseAtomAt(Empty, S);
+    for (auto &R : substUnify(std::move(Empty), S, D)) {
+      Sym Target = std::min(S, D);
+      materializeInto(R, Target, Out, Depth + 1);
+    }
+  }
+  {
+    SymHeap NonEmpty = H;
+    Sym Mid = NonEmpty.fresh();
+    eraseAtomAt(NonEmpty, S);
+    insertAtom(NonEmpty, HeapAtom{HeapAtom::PtsTo, S, Mid});
+    insertAtom(NonEmpty, HeapAtom{HeapAtom::Lseg, Mid, D});
+    Out.Cases.emplace_back(std::move(NonEmpty), Mid);
+  }
+}
+
+/// Is \p E a pointer-valued expression this domain can evaluate?
+bool isPointerExpr(const ExprPtr &E) {
+  if (!E)
+    return false;
+  switch (E->Kind) {
+  case ExprKind::NullLit:
+  case ExprKind::Var:
+    return true;
+  case ExprKind::FieldRead:
+    return E->Name == "next" && isPointerExpr(E->Lhs);
+  default:
+    return false;
+  }
+}
+
+/// Evaluation of a pointer expression: like materialization, produces cases.
+struct EvalCases {
+  std::vector<std::pair<SymHeap, Sym>> Cases;
+  bool MayErr = false;
+};
+
+void evalPtrInto(const SymHeap &H, const ExprPtr &E, EvalCases &Out) {
+  assert(isPointerExpr(E) && "evalPtrInto requires a pointer expression");
+  switch (E->Kind) {
+  case ExprKind::NullLit:
+    Out.Cases.emplace_back(H, NilSym);
+    return;
+  case ExprKind::Var: {
+    SymHeap H2 = H;
+    Sym S = H2.symOf(E->Name);
+    Out.Cases.emplace_back(std::move(H2), S);
+    return;
+  }
+  case ExprKind::FieldRead: {
+    EvalCases Base;
+    evalPtrInto(H, E->Lhs, Base);
+    Out.MayErr |= Base.MayErr;
+    for (auto &[BH, BS] : Base.Cases) {
+      MatCases Mat;
+      materializeInto(BH, BS, Mat);
+      Out.MayErr |= Mat.MayErr;
+      for (auto &[MH, MDst] : Mat.Cases)
+        Out.Cases.emplace_back(std::move(MH), MDst);
+    }
+    return;
+  }
+  default:
+    assert(false && "not a pointer expression");
+  }
+}
+
+/// Assume evaluation for one disjunct: every heap consistent with Cond.
+/// Sets MayErr when a dereference inside Cond cannot be proven safe.
+void assumeInto(const SymHeap &H, const ExprPtr &Cond,
+                std::vector<SymHeap> &Out, bool &MayErr) {
+  if (!Cond) {
+    Out.push_back(H);
+    return;
+  }
+  switch (Cond->Kind) {
+  case ExprKind::BoolLit:
+    if (Cond->BoolVal)
+      Out.push_back(H);
+    return;
+  case ExprKind::IntLit:
+    if (Cond->IntVal != 0)
+      Out.push_back(H);
+    return;
+  case ExprKind::Unary:
+    if (Cond->UOp == UnaryOp::Not) {
+      assumeInto(H, negate(Cond->Lhs), Out, MayErr);
+      return;
+    }
+    Out.push_back(H);
+    return;
+  case ExprKind::Binary: {
+    if (Cond->BOp == BinaryOp::And) {
+      std::vector<SymHeap> Mid;
+      assumeInto(H, Cond->Lhs, Mid, MayErr);
+      for (const auto &M : Mid)
+        assumeInto(M, Cond->Rhs, Out, MayErr);
+      return;
+    }
+    if (Cond->BOp == BinaryOp::Or) {
+      assumeInto(H, Cond->Lhs, Out, MayErr);
+      assumeInto(H, Cond->Rhs, Out, MayErr);
+      return;
+    }
+    bool PtrCmp = (Cond->BOp == BinaryOp::Eq || Cond->BOp == BinaryOp::Ne) &&
+                  isPointerExpr(Cond->Lhs) && isPointerExpr(Cond->Rhs);
+    if (!PtrCmp) {
+      Out.push_back(H); // numeric conditions: no shape content
+      return;
+    }
+    EvalCases L;
+    evalPtrInto(H, Cond->Lhs, L);
+    MayErr |= L.MayErr;
+    for (auto &[LH, LS] : L.Cases) {
+      EvalCases R;
+      evalPtrInto(LH, Cond->Rhs, R);
+      MayErr |= R.MayErr;
+      for (auto &[RH, RS] : R.Cases) {
+        if (Cond->BOp == BinaryOp::Eq) {
+          for (auto &U : substUnify(RH, LS, RS))
+            Out.push_back(std::move(U));
+        } else {
+          if (LS == RS)
+            continue; // definitely equal: Ne is false here
+          SymHeap H2 = RH;
+          H2.addDiseq(LS, RS);
+          Out.push_back(std::move(H2));
+        }
+      }
+    }
+    return;
+  }
+  default:
+    Out.push_back(H);
+    return;
+  }
+}
+
+/// Canonicalizes, deduplicates, and caps a disjunct set into \p S. When the
+/// cap is exceeded, disjuncts are first *folded* (abstracted) — which often
+/// collapses case-split families back together — before giving up to ⊤.
+void finalize(ShapeState &S) {
+  if (S.Top) {
+    S.Disjuncts.clear();
+    return;
+  }
+  auto dedup = [&] {
+    std::sort(S.Disjuncts.begin(), S.Disjuncts.end());
+    S.Disjuncts.erase(std::unique(S.Disjuncts.begin(), S.Disjuncts.end()),
+                      S.Disjuncts.end());
+  };
+  for (auto &H : S.Disjuncts)
+    H = ShapeDomain::canonicalize(H);
+  dedup();
+  if (S.Disjuncts.size() > ShapeDomain::MaxDisjuncts) {
+    for (auto &H : S.Disjuncts)
+      H = ShapeDomain::fold(H);
+    dedup();
+  }
+  if (S.Disjuncts.size() > ShapeDomain::MaxDisjuncts) {
+    S.Top = true;
+    S.Disjuncts.clear();
+  }
+}
+
+} // namespace
+
+SymHeap ShapeDomain::canonicalize(const SymHeap &H) {
+  // Reachability from the environment (and nil).
+  std::set<Sym> Reachable = {NilSym};
+  std::deque<Sym> Work;
+  for (const auto &[Var, S] : H.Env) {
+    if (Reachable.insert(S).second)
+      Work.push_back(S);
+  }
+  // Seed order is deterministic (Env is sorted by variable).
+  std::vector<Sym> Order;
+  Order.push_back(NilSym);
+  for (const auto &[Var, S] : H.Env)
+    if (std::find(Order.begin(), Order.end(), S) == Order.end())
+      Order.push_back(S);
+  // Discover chain symbols in deterministic BFS order.
+  for (size_t I = 0; I < Order.size(); ++I) {
+    const HeapAtom *A = H.atomAt(Order[I]);
+    if (!A)
+      continue;
+    if (std::find(Order.begin(), Order.end(), A->Dst) == Order.end())
+      Order.push_back(A->Dst);
+  }
+  std::set<Sym> Kept(Order.begin(), Order.end());
+  // Renumber.
+  std::map<Sym, Sym> Renaming;
+  Sym Next = 0;
+  for (Sym S : Order)
+    Renaming[S] = Next++;
+  assert(Renaming[NilSym] == NilSym && "nil must stay symbol 0");
+
+  SymHeap Out;
+  Out.NextSym = Next;
+  for (const auto &[Var, S] : H.Env)
+    Out.Env[Var] = Renaming[S];
+  for (const auto &A : H.Atoms) {
+    if (!Kept.count(A.Src) || !Kept.count(A.Dst))
+      continue; // garbage (unreachable) heap: sound to drop
+    Out.Atoms.push_back(HeapAtom{A.K, Renaming[A.Src], Renaming[A.Dst]});
+  }
+  std::sort(Out.Atoms.begin(), Out.Atoms.end());
+  for (const auto &[A, B] : H.Diseqs) {
+    if (!Kept.count(A) || !Kept.count(B))
+      continue;
+    Out.addDiseq(Renaming[A], Renaming[B]);
+  }
+  return Out;
+}
+
+SymHeap ShapeDomain::fold(const SymHeap &In) {
+  SymHeap H = In;
+  // Generalize every points-to into a (possibly longer) segment: the
+  // re-summarization step of the Chang et al. rewrite rules. Sound
+  // (x ↦ y entails lseg(x, y)) and key to convergence in few unrollings:
+  // loop invariants become lseg-shaped after one widen.
+  for (auto &A : H.Atoms)
+    A.K = HeapAtom::Lseg;
+  std::set<Sym> Named = {NilSym};
+  for (const auto &[Var, S] : H.Env)
+    Named.insert(S);
+  // Abstraction drops pure facts about anonymous symbols (needed so folded
+  // heaps range over a finite space).
+  std::erase_if(H.Diseqs, [&](const std::pair<Sym, Sym> &D) {
+    return !Named.count(D.first) || !Named.count(D.second);
+  });
+  // Fold a ↦/lseg m ∗ m ↦/lseg c into lseg(a, c) for anonymous mid-points m
+  // with in-degree one.
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (const auto &A : H.Atoms) {
+      Sym M = A.Dst;
+      if (Named.count(M) || M == A.Src)
+        continue;
+      unsigned InDeg = 0;
+      for (const auto &X : H.Atoms)
+        if (X.Dst == M)
+          ++InDeg;
+      if (InDeg != 1)
+        continue;
+      const HeapAtom *B = H.atomAt(M);
+      if (!B || B->Dst == M)
+        continue;
+      HeapAtom Folded{HeapAtom::Lseg, A.Src, B->Dst};
+      HeapAtom ACopy = A, BCopy = *B;
+      std::erase_if(H.Atoms,
+                    [&](const HeapAtom &X) { return X == ACopy || X == BCopy; });
+      insertAtom(H, Folded);
+      Changed = true;
+      break; // iterators invalidated; rescan
+    }
+  }
+  return canonicalize(H);
+}
+
+ShapeState ShapeDomain::initialEntry(const std::vector<std::string> &Params) {
+  ShapeState S;
+  SymHeap H;
+  for (const auto &P : Params) {
+    Sym A = H.fresh();
+    H.Env[P] = A;
+    insertAtom(H, HeapAtom{HeapAtom::Lseg, A, NilSym});
+  }
+  S.Disjuncts.push_back(canonicalize(H));
+  return S;
+}
+
+ShapeState ShapeDomain::transfer(const Stmt &St, const Elem &In) {
+  if (In.isBottom())
+    return In;
+  ShapeState Out;
+  Out.Error = In.Error;
+  if (In.Top) {
+    Out.Top = true;
+    // Under an unknown heap, any dereference may fail.
+    auto derefs = [&](const ExprPtr &E) {
+      for (ExprPtr Cur = E; Cur; Cur = Cur->Lhs)
+        if (Cur->Kind == ExprKind::FieldRead && Cur->Name == "next")
+          return true;
+      return false;
+    };
+    if (St.Kind == StmtKind::FieldWrite || derefs(St.Rhs) || derefs(St.Index))
+      Out.Error = true;
+    return Out;
+  }
+
+  bool MayErr = false;
+  for (const SymHeap &H : In.Disjuncts) {
+    switch (St.Kind) {
+    case StmtKind::Skip:
+    case StmtKind::Print:
+    case StmtKind::ArrayWrite: // arrays and the .next heap are disjoint
+      Out.Disjuncts.push_back(H);
+      break;
+    case StmtKind::Alloc: {
+      SymHeap H2 = H;
+      Sym S = H2.fresh();
+      H2.Env[St.Lhs] = S;
+      insertAtom(H2, HeapAtom{HeapAtom::PtsTo, S, NilSym});
+      H2.addDiseq(S, NilSym);
+      Out.Disjuncts.push_back(std::move(H2));
+      break;
+    }
+    case StmtKind::Assign: {
+      if (isPointerExpr(St.Rhs)) {
+        EvalCases E;
+        evalPtrInto(H, St.Rhs, E);
+        MayErr |= E.MayErr;
+        for (auto &[EH, ES] : E.Cases) {
+          SymHeap H2 = std::move(EH);
+          H2.Env[St.Lhs] = ES;
+          Out.Disjuncts.push_back(std::move(H2));
+        }
+      } else {
+        SymHeap H2 = H;
+        H2.Env[St.Lhs] = H2.fresh(); // non-pointer: unconstrained symbol
+        Out.Disjuncts.push_back(std::move(H2));
+      }
+      break;
+    }
+    case StmtKind::FieldWrite: {
+      // x.next = e: evaluate e, then materialize x's cell and overwrite.
+      EvalCases Val;
+      if (isPointerExpr(St.Rhs)) {
+        evalPtrInto(H, St.Rhs, Val);
+        MayErr |= Val.MayErr;
+      } else {
+        SymHeap H2 = H;
+        Sym S = H2.fresh();
+        Val.Cases.emplace_back(std::move(H2), S);
+      }
+      for (auto &[VH, VS] : Val.Cases) {
+        SymHeap H2 = std::move(VH);
+        Sym X = H2.symOf(St.Lhs);
+        MatCases Mat;
+        materializeInto(H2, X, Mat);
+        MayErr |= Mat.MayErr;
+        for (auto &[MH, MDst] : Mat.Cases) {
+          (void)MDst;
+          SymHeap H3 = std::move(MH);
+          // The materialized atom at X (= min-rewritten symbol) is PtsTo.
+          Sym XNow = H3.symOf(St.Lhs);
+          eraseAtomAt(H3, XNow);
+          insertAtom(H3, HeapAtom{HeapAtom::PtsTo, XNow, VS});
+          Out.Disjuncts.push_back(std::move(H3));
+        }
+      }
+      break;
+    }
+    case StmtKind::Assume: {
+      assumeInto(H, St.Rhs, Out.Disjuncts, MayErr);
+      break;
+    }
+    case StmtKind::Call: {
+      // Intraprocedural default: the callee may mutate reachable heap
+      // arbitrarily. (The interprocedural engine replaces this hook.)
+      Out.Top = true;
+      break;
+    }
+    }
+    if (Out.Top)
+      break;
+  }
+  Out.Error |= MayErr;
+  finalize(Out);
+  return Out;
+}
+
+ShapeState ShapeDomain::join(const Elem &A, const Elem &B) {
+  ShapeState Out;
+  Out.Error = A.Error || B.Error;
+  Out.Top = A.Top || B.Top;
+  if (!Out.Top) {
+    Out.Disjuncts = A.Disjuncts;
+    Out.Disjuncts.insert(Out.Disjuncts.end(), B.Disjuncts.begin(),
+                         B.Disjuncts.end());
+  }
+  finalize(Out);
+  return Out;
+}
+
+ShapeState ShapeDomain::widen(const Elem &Prev, const Elem &Next) {
+  ShapeState Joined = join(Prev, Next);
+  if (Joined.Top)
+    return Joined;
+  for (auto &H : Joined.Disjuncts)
+    H = fold(H);
+  finalize(Joined);
+  return Joined;
+}
+
+bool ShapeDomain::leq(const Elem &A, const Elem &B) {
+  if (A.Error && !B.Error)
+    return false;
+  if (A.isBottom())
+    return true;
+  if (B.Top)
+    return true;
+  if (A.Top)
+    return false;
+  // Inclusion of canonical disjuncts, additionally recognizing widening's
+  // abstraction: γ(H) ⊆ γ(fold(H)), so a disjunct whose fold matches is
+  // entailed. Sound and sufficient for ∇-upper-bound reasoning; still
+  // incomplete in general.
+  for (const auto &HA : A.Disjuncts) {
+    SymHeap CA = canonicalize(HA);
+    SymHeap FA = fold(HA);
+    bool Found = false;
+    for (const auto &HB : B.Disjuncts) {
+      SymHeap CB = canonicalize(HB);
+      if (CA == CB || FA == CB) {
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+bool ShapeDomain::equal(const Elem &A, const Elem &B) {
+  if (A.Top != B.Top || A.Error != B.Error)
+    return false;
+  if (A.Top)
+    return true;
+  if (A.Disjuncts.size() != B.Disjuncts.size())
+    return false;
+  auto Canon = [](const Elem &S) {
+    std::vector<SymHeap> V;
+    V.reserve(S.Disjuncts.size());
+    for (const auto &H : S.Disjuncts)
+      V.push_back(canonicalize(H));
+    std::sort(V.begin(), V.end());
+    return V;
+  };
+  return Canon(A) == Canon(B);
+}
+
+uint64_t ShapeDomain::hash(const Elem &A) {
+  uint64_t H = hashValues(A.Top ? 1u : 0u, A.Error ? 1u : 0u);
+  std::vector<SymHeap> V;
+  V.reserve(A.Disjuncts.size());
+  for (const auto &D : A.Disjuncts)
+    V.push_back(canonicalize(D));
+  std::sort(V.begin(), V.end());
+  for (const auto &D : V) {
+    for (const auto &[Var, S] : D.Env)
+      H = hashCombine(hashCombine(H, hashString(Var)), S);
+    for (const auto &Atom : D.Atoms)
+      H = hashCombine(H, hashValues(static_cast<uint64_t>(Atom.K), Atom.Src,
+                                    Atom.Dst));
+    for (const auto &[X, Y] : D.Diseqs)
+      H = hashCombine(H, hashValues(X, Y, 0xd15e9ULL));
+  }
+  return H;
+}
+
+std::string ShapeDomain::toString(const Elem &A) {
+  if (A.isBottom())
+    return "⊥";
+  std::ostringstream OS;
+  if (A.Error)
+    OS << "[ERR] ";
+  if (A.Top) {
+    OS << "⊤";
+    return OS.str();
+  }
+  bool First = true;
+  for (const auto &H : A.Disjuncts) {
+    if (!First)
+      OS << "  ∨  ";
+    First = false;
+    OS << "(" << H.toString() << ")";
+  }
+  return OS.str();
+}
+
+ShapeState ShapeDomain::enterCall(const Elem &Caller, const Stmt &,
+                                  const std::vector<std::string> &Params) {
+  if (Caller.isBottom())
+    return bottom();
+  // Documented assumption (as in the paper's study): callees receive
+  // well-formed, separated lists.
+  return initialEntry(Params);
+}
+
+ShapeState ShapeDomain::exitCall(const Elem &Caller, const Elem &CalleeExit,
+                                 const Stmt &) {
+  if (Caller.isBottom())
+    return Caller;
+  if (CalleeExit.isBottom())
+    return bottom();
+  ShapeState Out;
+  Out.Top = true; // the callee may have mutated any reachable cell
+  Out.Error = Caller.Error || CalleeExit.Error;
+  return Out;
+}
+
+bool ShapeDomain::provesListInvariant(const Elem &S, const std::string &Var) {
+  if (S.Top)
+    return false;
+  for (const auto &H : S.Disjuncts) {
+    auto It = H.Env.find(Var);
+    if (It == H.Env.end())
+      return false;
+    Sym Cur = It->second;
+    std::set<Sym> Visited;
+    while (Cur != NilSym) {
+      if (!Visited.insert(Cur).second)
+        return false; // cycle
+      const HeapAtom *A = H.atomAt(Cur);
+      if (!A)
+        return false; // dangling tail
+      Cur = A->Dst;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,153 @@
+//===-- domain/shape.h - Separation-logic list shape domain -----*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A separation-logic shape domain for singly-linked lists, the paper's
+/// third instantiation (Section 7.2): abstract states are finite disjunctions
+/// of symbolic heaps, each consisting of
+///   - an environment mapping variables to symbolic addresses,
+///   - a *separating* conjunction of points-to (α.next ↦ α') and list-segment
+///     (lseg(α, α')) atoms, and
+///   - pure constraints (dis-equalities; equalities are applied eagerly by
+///     substitution),
+/// specialized — like the paper's instantiation — to the fixed inductive
+/// definition lseg(x,y) ≡ x = y ∧ emp ∨ ∃z. x.next ↦ z ∗ lseg(z,y).
+///
+/// Dereferences *materialize* lseg atoms (case-splitting on emptiness);
+/// widening *folds* anonymous chains back into lseg atoms and caps the
+/// disjunct count, giving a finite abstraction over the program's variables
+/// and hence convergence. A sticky Error bit records dereferences that could
+/// not be proven safe (the memory-safety verification client); per the
+/// paper's concrete semantics, the failing execution itself is ⊥ and
+/// contributes no disjunct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_SHAPE_H
+#define DAI_DOMAIN_SHAPE_H
+
+#include "domain/abstract_domain.h"
+#include "lang/stmt.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+/// A symbolic address. Symbol 0 is the distinguished nil.
+using Sym = uint32_t;
+inline constexpr Sym NilSym = 0;
+
+/// One spatial atom: Src.next ↦ Dst, or lseg(Src, Dst).
+struct HeapAtom {
+  enum Kind : uint8_t { PtsTo, Lseg } K;
+  Sym Src;
+  Sym Dst;
+
+  bool operator==(const HeapAtom &O) const {
+    return K == O.K && Src == O.Src && Dst == O.Dst;
+  }
+  bool operator<(const HeapAtom &O) const {
+    if (Src != O.Src)
+      return Src < O.Src;
+    if (K != O.K)
+      return K < O.K;
+    return Dst < O.Dst;
+  }
+};
+
+/// One disjunct: environment ∗ spatial formula ∧ pure dis-equalities.
+struct SymHeap {
+  std::map<std::string, Sym> Env;
+  std::vector<HeapAtom> Atoms;                ///< Sorted by Src (unique Srcs).
+  std::set<std::pair<Sym, Sym>> Diseqs;       ///< Normalized (lo, hi) pairs.
+  Sym NextSym = 1;
+
+  bool operator==(const SymHeap &O) const {
+    return Env == O.Env && Atoms == O.Atoms && Diseqs == O.Diseqs;
+  }
+  bool operator<(const SymHeap &O) const;
+
+  Sym fresh() { return NextSym++; }
+  /// Returns the symbol bound to \p Var, binding a fresh one if absent.
+  Sym symOf(const std::string &Var);
+  /// Returns the atom whose Src is \p S, or nullptr.
+  const HeapAtom *atomAt(Sym S) const;
+
+  bool distinct(Sym A, Sym B) const {
+    if (A == B)
+      return false;
+    auto P = A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+    return Diseqs.count(P) != 0;
+  }
+  void addDiseq(Sym A, Sym B) {
+    if (A != B)
+      Diseqs.insert(A < B ? std::make_pair(A, B) : std::make_pair(B, A));
+  }
+
+  std::string toString() const;
+};
+
+/// A shape abstract value: ⊥, ⊤ (unknown heap), or a set of disjuncts — plus
+/// the sticky memory-safety Error bit.
+struct ShapeState {
+  bool Top = false;
+  bool Error = false;
+  std::vector<SymHeap> Disjuncts; ///< Empty ∧ !Top ⇒ ⊥.
+
+  bool isBottom() const { return !Top && Disjuncts.empty() && !Error; }
+};
+
+/// The shape abstract domain policy (satisfies AbstractDomain).
+struct ShapeDomain {
+  /// Disjunct cap: beyond this, the state widens to ⊤ (unknown heap).
+  static constexpr size_t MaxDisjuncts = 24;
+
+  using Elem = ShapeState;
+
+  static Elem bottom() { return ShapeState(); }
+  /// Entry assumption (as in the paper's example): every parameter is a
+  /// well-formed, pairwise-separated null-terminated list: ∗_i lseg(p_i, nil).
+  static Elem initialEntry(const std::vector<std::string> &Params);
+  static Elem transfer(const Stmt &S, const Elem &In);
+  static Elem join(const Elem &A, const Elem &B);
+  static Elem widen(const Elem &Prev, const Elem &Next);
+  static bool leq(const Elem &A, const Elem &B);
+  static bool equal(const Elem &A, const Elem &B);
+  static uint64_t hash(const Elem &A);
+  static std::string toString(const Elem &A);
+  static const char *name() { return "shape"; }
+  static bool isBottom(const Elem &A) { return A.isBottom(); }
+
+  // Interprocedural hooks. The paper's shape study is intraprocedural; the
+  // conservative hooks below assume callees receive well-formed lists and
+  // havoc the caller's heap on return.
+  static Elem enterCall(const Elem &Caller, const Stmt &CallSite,
+                        const std::vector<std::string> &CalleeParams);
+  static Elem exitCall(const Elem &Caller, const Elem &CalleeExit,
+                       const Stmt &CallSite);
+
+  /// Canonicalizes one disjunct: garbage-collects atoms unreachable from the
+  /// environment and renumbers symbols deterministically. Exposed for tests.
+  static SymHeap canonicalize(const SymHeap &H);
+
+  /// Folds anonymous chains into lseg atoms (the widening abstraction).
+  static SymHeap fold(const SymHeap &H);
+
+  /// Verification clients (Section 7.2):
+  /// true iff \p Var provably holds a well-formed (null-terminated, acyclic)
+  /// list in every disjunct of \p S.
+  static bool provesListInvariant(const Elem &S, const std::string &Var);
+  /// true iff no dereference along any path into \p S could have failed.
+  static bool provesMemorySafety(const Elem &S) { return !S.Error; }
+};
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_SHAPE_H

@@ -1,0 +1,451 @@
+//===-- interproc/engine.h - Demanded interprocedural analysis --*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The demanded interprocedural engine of Section 7.1 (and Section 2.3,
+/// "Interprocedural Demand"): per-(function, context) DAIGs constructed on
+/// demand, parameterized by a k-call-string context policy (k ∈ {0, 1, 2}).
+///
+/// When query evaluation inside a caller's DAIG reaches a call statement
+/// `x = f(ys)`, the engine's transfer hook
+///   1. projects the caller state into a callee entry contribution
+///      (D::enterCall), recording it keyed by (caller instance, call site);
+///   2. sets the callee instance's entry to the join of all current
+///      contributions (constructing the callee DAIG on demand);
+///   3. demands the callee's exit cell (its summary); and
+///   4. combines it into the caller's post-state (D::exitCall).
+///
+/// Incremental edits propagate across DAIGs: when an instance's exit cell is
+/// dirtied, every caller that consumed its summary has the corresponding
+/// call-edge outputs dirtied, cascading up the (acyclic) call graph; edited
+/// instances also drop their outgoing entry contributions so callee entries
+/// never serve stale values (a conservative, function-boundary-granular
+/// variant of the paper's cross-DAIG dependencies; reuse *within* each DAIG
+/// remains fine-grained, and the shared memo table recovers most of the
+/// dropped work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_INTERPROC_ENGINE_H
+#define DAI_INTERPROC_ENGINE_H
+
+#include "daig/daig.h"
+#include "interproc/call_graph.h"
+#include "interproc/context.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace dai {
+
+/// Interprocedural demanded abstract interpretation over domain \p D.
+template <typename D>
+  requires AbstractDomain<D>
+class InterprocEngine {
+public:
+  using Elem = typename D::Elem;
+
+  /// Identifies one analyzed (function, context) instance.
+  struct InstanceKey {
+    std::string Fn;
+    Context Ctx;
+
+    bool operator==(const InstanceKey &O) const {
+      return Fn == O.Fn && Ctx == O.Ctx;
+    }
+    bool operator<(const InstanceKey &O) const {
+      if (Fn != O.Fn)
+        return Fn < O.Fn;
+      return Ctx < O.Ctx;
+    }
+    std::string toString() const { return Fn + Ctx.toString(); }
+  };
+
+  /// \p K is the call-string depth (0 = context-insensitive).
+  InterprocEngine(Program Prog, std::string MainName, unsigned K = 0)
+      : Prog(std::move(Prog)), MainName(std::move(MainName)), K(K) {
+    CG = buildCallGraph(this->Prog);
+    if (CG.valid() && !this->Prog.find(this->MainName))
+      CG.Error = "no function named '" + this->MainName + "'";
+  }
+
+  bool valid() const { return CG.valid(); }
+  const std::string &error() const { return CG.Error; }
+  Program &program() { return Prog; }
+  Statistics &statistics() { return Stats; }
+  MemoTable<D> &memoTable() { return Memo; }
+
+  /// Demands the abstract state at \p L in the root (main) instance.
+  ///
+  /// Queries iterate to quiescence: a pass may grow a callee's entry (a new
+  /// call site contributing), which invalidates consumers of its summary;
+  /// passes repeat until no summary is invalidated. Entry growth is widened,
+  /// so the pass count is finite even in infinite-height domains.
+  Elem queryMain(Loc L) {
+    Instance &Root = instanceFor(rootKey(), /*Seed=*/true);
+    for (;;) {
+      Elem V = Root.G->queryLocation(L);
+      if (!drainDirtyExits())
+        return V;
+    }
+  }
+
+  /// Demands the exit summary of instance \p Key (⊥ if never called).
+  Elem querySummary(const InstanceKey &Key) {
+    Instance &I = instanceFor(Key, Key == rootKey());
+    for (;;) {
+      Elem V = I.G->queryLocation(cfgOf(Key.Fn)->exit());
+      if (!drainDirtyExits())
+        return V;
+    }
+  }
+
+  /// Demands every location of every instance reachable from main. Returns
+  /// the number of instances analyzed.
+  size_t analyzeAllFromMain() {
+    Instance &Root = instanceFor(rootKey(), /*Seed=*/true);
+    Root.G->queryAllLocations();
+    // Demanding main may create callee instances, whose full analysis may
+    // create more; iterate to a fixed point over the instance set.
+    size_t Analyzed = 1;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      std::vector<InstanceKey> Keys;
+      Keys.reserve(Instances.size());
+      for (const auto &[Key, Inst] : Instances)
+        Keys.push_back(Key);
+      for (const auto &Key : Keys) {
+        Instance &I = *Instances.at(Key);
+        if (I.FullyQueried)
+          continue;
+        I.FullyQueried = true;
+        I.G->queryAllLocations();
+        ++Analyzed;
+        Progress = true;
+      }
+      if (drainDirtyExits())
+        Progress = true;
+    }
+    return Instances.size();
+  }
+
+  /// In-place statement replacement in every instance of \p Fn. If the old
+  /// statement was a call, its call-site contributions are dropped (the site
+  /// key changes with the statement); other contributions persist and are
+  /// re-validated by subsequent queries (entries only grow between explicit
+  /// re-seeds, a sound monotone approximation).
+  bool applyStatementEdit(const std::string &Fn, EdgeId Id, Stmt NewStmt) {
+    Function *F = Prog.find(Fn);
+    if (!F || !F->Body.findEdge(Id))
+      return false;
+    Stmt OldStmt = F->Body.findEdge(Id)->Label;
+    bool StructureRelevant =
+        NewStmt.Kind == StmtKind::Call || OldStmt.Kind == StmtKind::Call;
+    for (auto &[Key, Inst] : Instances) {
+      if (Key.Fn != Fn)
+        continue;
+      Inst->G->applyStatementEdit(Id, NewStmt);
+      Inst->FullyQueried = false;
+    }
+    if (Instances.empty() || !anyInstanceOf(Fn))
+      F->Body.replaceStmt(Id, NewStmt); // no instance carried the CFG update
+    if (StructureRelevant)
+      CG = buildCallGraph(Prog); // the call graph may have changed
+    if (OldStmt.Kind == StmtKind::Call)
+      dropContributionsForSite(Fn, OldStmt.hash());
+    drainDirtyExits();
+    return true;
+  }
+
+  /// Surgical statement insertion in every instance of \p Fn: the caller
+  /// has already spliced the CFG via cfg/edits.h insertStmtAt(At, ·), whose
+  /// result is \p Splice.
+  void applyInsertedStatementEdit(const std::string &Fn, Loc At,
+                                  const InsertResult &Splice) {
+    const Function *F = Prog.find(Fn);
+    assert(F && "edit in unknown function");
+    if (F->Body.findEdge(Splice.FirstNewEdge)->Label.Kind == StmtKind::Call)
+      CG = buildCallGraph(Prog);
+    for (auto &[Key, Inst] : Instances) {
+      if (Key.Fn != Fn)
+        continue;
+      Inst->G->applyInsertedStatement(At, Splice);
+      Inst->FullyQueried = false;
+    }
+    drainDirtyExits();
+  }
+
+  /// Rebuilds every instance of \p Fn after the caller mutated its CFG
+  /// structurally (via program().find(Fn)->Body and cfg/edits.h).
+  void applyStructuralEdit(const std::string &Fn) {
+    CG = buildCallGraph(Prog);
+    for (auto &[Key, Inst] : Instances) {
+      if (Key.Fn != Fn)
+        continue;
+      Inst->G->rebuild();
+      Inst->FullyQueried = false;
+    }
+    drainDirtyExits();
+  }
+
+  /// Drops every entry contribution and re-seeds callee entries from ⊥,
+  /// restoring full precision after long edit sequences (entries otherwise
+  /// only grow). Subsequent queries recompute contributions on demand.
+  void reseedAllEntries() {
+    for (auto &[Key, Inst] : Instances) {
+      if (Key == rootKey())
+        continue;
+      Inst->Contributions.clear();
+      refreshEntry(Key, *Inst, /*AllowShrink=*/true);
+    }
+    drainDirtyExits();
+  }
+
+  /// Discards every instance (all DAIG cells and contributions) while
+  /// keeping the program and the auxiliary memo table — the
+  /// demand-driven-only configuration's "dirty the full DAIG after each
+  /// edit" (Section 7.3).
+  void resetAllInstances() {
+    Instances.clear();
+    SummaryConsumers.clear();
+    PendingDirtyExits.clear();
+  }
+
+  /// Invokes \p Fn(key, daig) for every constructed instance.
+  template <typename Callback> void forEachInstance(Callback &&Fn) {
+    for (auto &[Key, Inst] : Instances)
+      Fn(Key, *Inst->G);
+  }
+
+  size_t instanceCount() const { return Instances.size(); }
+
+  InstanceKey rootKey() const { return InstanceKey{MainName, Context{}}; }
+
+  const Cfg *cfgOf(const std::string &Fn) const {
+    const Function *F = Prog.find(Fn);
+    assert(F && "unknown function");
+    return &F->Body;
+  }
+
+private:
+  Program Prog;
+  std::string MainName;
+  unsigned K;
+  CallGraph CG;
+  Statistics Stats;
+  MemoTable<D> Memo{};
+
+  struct Instance {
+    std::unique_ptr<Daig<D>> G;
+    /// Entry contributions: (caller instance, call-site hash) → entry state.
+    std::map<std::pair<InstanceKey, uint64_t>, Elem> Contributions;
+    bool Seeded = false;       ///< True for the root or once contributed-to.
+    bool FullyQueried = false; ///< analyzeAllFromMain bookkeeping.
+    unsigned EntryGrowths = 0; ///< Widening-delay counter for entry updates.
+  };
+  std::map<InstanceKey, std::unique_ptr<Instance>> Instances;
+
+  /// Summary-consumption edges for cross-DAIG dirtying: callee instance →
+  /// caller instances that demanded its exit.
+  std::map<InstanceKey, std::set<InstanceKey>> SummaryConsumers;
+
+  /// Exit cells dirtied during an edit, processed by drainDirtyExits.
+  std::vector<InstanceKey> PendingDirtyExits;
+  bool InDirtyDrain = false;
+
+  Instance &instanceFor(const InstanceKey &Key, bool Seed) {
+    auto It = Instances.find(Key);
+    if (It == Instances.end()) {
+      Function *F = Prog.find(Key.Fn);
+      assert(F && "instance for unknown function");
+      auto Inst = std::make_unique<Instance>();
+      Elem Entry =
+          Seed ? D::initialEntry(F->Params) : D::bottom(); // unseeded: no calls
+      Inst->G = std::make_unique<Daig<D>>(&F->Body, std::move(Entry), &Stats,
+                                          &Memo);
+      Inst->Seeded = Seed;
+      InstanceKey KeyCopy = Key;
+      Inst->G->setTransferHook([this, KeyCopy](const Stmt &S, const Elem &In) {
+        return resolveCall(KeyCopy, S, In);
+      });
+      Inst->G->setOnCellEmptied([this, KeyCopy](const Name &N) {
+        onCellEmptied(KeyCopy, N);
+      });
+      It = Instances.emplace(Key, std::move(Inst)).first;
+    } else if (Seed && !It->second->Seeded) {
+      It->second->Seeded = true;
+      Function *F = Prog.find(Key.Fn);
+      It->second->G->updateEntry(D::initialEntry(F->Params));
+    }
+    return *It->second;
+  }
+
+  /// The transfer hook: demanded callee summaries (Section 2.3).
+  Elem resolveCall(const InstanceKey &Caller, const Stmt &S, const Elem &In) {
+    if (Stats.CallSummaries != UINT64_MAX)
+      ++Stats.CallSummaries;
+    if (D::isBottom(In))
+      return D::bottom();
+    Function *Callee = Prog.find(S.Callee);
+    if (!Callee) // undefined callee: havoc via the domain's default
+      return D::transfer(S, In);
+    InstanceKey CalleeKey{S.Callee,
+                          Caller.Ctx.extend(CallSite{Caller.Fn, S.hash()}, K)};
+    Instance &CalleeInst = instanceFor(CalleeKey, /*Seed=*/false);
+
+    // Record/update this call site's entry contribution.
+    Elem Contribution = D::enterCall(In, S, Callee->Params);
+    auto SiteKey = std::make_pair(Caller, S.hash());
+    auto CIt = CalleeInst.Contributions.find(SiteKey);
+    bool ContributionChanged =
+        CIt == CalleeInst.Contributions.end() ||
+        !D::equal(CIt->second, Contribution);
+    if (ContributionChanged) {
+      CalleeInst.Contributions[SiteKey] = Contribution;
+      refreshEntry(CalleeKey, CalleeInst, /*AllowShrink=*/false);
+    }
+
+    SummaryConsumers[CalleeKey].insert(Caller);
+    Elem Summary =
+        CalleeInst.G->queryLocation(Prog.find(S.Callee)->Body.exit());
+    return D::exitCall(In, Summary, S);
+  }
+
+  /// Entry := join of all contributions (⊥ when none). When \p AllowShrink
+  /// is false (query-time updates) the entry is only ever *grown*, widened
+  /// past the current value — shrinking mid-query would ping-pong with
+  /// summary invalidation; growth widening bounds the number of entry
+  /// updates even in infinite-height domains. Edit paths pass true to
+  /// regain precision once stale contributions have been dropped.
+  void refreshEntry(const InstanceKey &Key, Instance &Inst, bool AllowShrink) {
+    Elem Joined = D::bottom();
+    for (const auto &[Site, Contribution] : Inst.Contributions)
+      Joined = D::join(Joined, Contribution);
+    const Elem &Cur = Inst.G->entryValue();
+    Elem Entry = std::move(Joined);
+    if (!AllowShrink) {
+      if (D::leq(Entry, Cur))
+        return; // already covered: keep the (possibly larger) entry
+      // Widening delay: plain joins for the first few growths keep
+      // precision (e.g. loop-carried call arguments); widening afterwards
+      // bounds the number of entry updates in infinite-height domains.
+      constexpr unsigned WideningDelay = 4;
+      if (!D::isBottom(Cur)) {
+        if (Inst.EntryGrowths++ < WideningDelay)
+          Entry = D::join(Cur, Entry);
+        else
+          Entry = D::widen(Cur, D::join(Cur, Entry));
+      }
+    } else {
+      Inst.EntryGrowths = 0;
+    }
+    if (!D::equal(Entry, Cur)) {
+      bool NowBottom = D::isBottom(Entry);
+      Inst.G->updateEntry(std::move(Entry));
+      Inst.FullyQueried = false;
+      // A dead instance (entry ⊥ after an edit) can no longer vouch for its
+      // own outgoing contributions: cascade the drop down the call DAG.
+      if (AllowShrink && NowBottom)
+        dropAllOutgoingOf(Key);
+    }
+  }
+
+  /// Removes every contribution made by \p Caller (any call site),
+  /// re-seeding affected callee entries; recursion bottoms out on the
+  /// acyclic call graph.
+  void dropAllOutgoingOf(const InstanceKey &Caller) {
+    for (auto &[CalleeKey, CalleeInst] : Instances) {
+      bool Removed = false;
+      for (auto It = CalleeInst->Contributions.begin();
+           It != CalleeInst->Contributions.end();) {
+        if (It->first.first == Caller) {
+          It = CalleeInst->Contributions.erase(It);
+          Removed = true;
+        } else {
+          ++It;
+        }
+      }
+      if (Removed)
+        refreshEntry(CalleeKey, *CalleeInst, /*AllowShrink=*/true);
+    }
+  }
+
+  void onCellEmptied(const InstanceKey &Key, const Name &N) {
+    auto It = Instances.find(Key);
+    if (It == Instances.end())
+      return;
+    It->second->FullyQueried = false;
+    if (N == It->second->G->exitCellName())
+      PendingDirtyExits.push_back(Key);
+  }
+
+  /// Processes summary invalidations until quiescent. Returns true if any
+  /// consumer was invalidated.
+  bool drainDirtyExits() {
+    if (InDirtyDrain)
+      return false;
+    InDirtyDrain = true;
+    bool AnyWork = false;
+    std::set<InstanceKey> Done;
+    while (!PendingDirtyExits.empty()) {
+      InstanceKey Key = PendingDirtyExits.back();
+      PendingDirtyExits.pop_back();
+      if (!Done.insert(Key).second)
+        continue;
+      auto CIt = SummaryConsumers.find(Key);
+      if (CIt == SummaryConsumers.end())
+        continue;
+      for (const InstanceKey &Caller : CIt->second) {
+        auto InstIt = Instances.find(Caller);
+        if (InstIt == Instances.end())
+          continue;
+        AnyWork = true;
+        // Dirty the outputs of every call edge targeting Key's function.
+        // Contributions are NOT dropped here: query passes re-validate
+        // them, and monotone entry growth guarantees convergence.
+        for (const CallEdge &CE : CG.Edges) {
+          if (CE.Caller != Caller.Fn || CE.Callee != Key.Fn)
+            continue;
+          InstIt->second->G->invalidateEdgeOutputs(CE.Edge);
+        }
+      }
+    }
+    InDirtyDrain = false;
+    return AnyWork;
+  }
+
+  /// Drops contributions recorded for call site \p SiteHash inside \p Fn
+  /// (used when the call statement itself is replaced: the site key dies).
+  void dropContributionsForSite(const std::string &Fn, uint64_t SiteHash) {
+    for (auto &[CalleeKey, CalleeInst] : Instances) {
+      bool Removed = false;
+      for (auto It = CalleeInst->Contributions.begin();
+           It != CalleeInst->Contributions.end();) {
+        if (It->first.first.Fn == Fn && It->first.second == SiteHash) {
+          It = CalleeInst->Contributions.erase(It);
+          Removed = true;
+        } else {
+          ++It;
+        }
+      }
+      if (Removed)
+        refreshEntry(CalleeKey, *CalleeInst, /*AllowShrink=*/true);
+    }
+  }
+
+  bool anyInstanceOf(const std::string &Fn) const {
+    for (const auto &[Key, Inst] : Instances)
+      if (Key.Fn == Fn)
+        return true;
+    return false;
+  }
+};
+
+} // namespace dai
+
+#endif // DAI_INTERPROC_ENGINE_H

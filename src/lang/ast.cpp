@@ -1,0 +1,115 @@
+//===-- lang/ast.cpp - Structured AST implementation ----------------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ast.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dai;
+
+AstStmtPtr AstStmt::mkBlock(std::vector<AstStmtPtr> Stmts) {
+  auto S = std::make_shared<AstStmt>();
+  S->Kind = AstKind::Block;
+  S->Children = std::move(Stmts);
+  return S;
+}
+
+AstStmtPtr AstStmt::mkSimple(Stmt Atomic) {
+  auto S = std::make_shared<AstStmt>();
+  S->Kind = AstKind::Simple;
+  S->Atomic = std::move(Atomic);
+  return S;
+}
+
+AstStmtPtr AstStmt::mkIf(ExprPtr Cond, AstStmtPtr Then, AstStmtPtr Else) {
+  assert(Then && Else && "if statements require both branches (Else may be "
+                         "an empty block)");
+  auto S = std::make_shared<AstStmt>();
+  S->Kind = AstKind::If;
+  S->Cond = std::move(Cond);
+  S->Children = {std::move(Then), std::move(Else)};
+  return S;
+}
+
+AstStmtPtr AstStmt::mkWhile(ExprPtr Cond, AstStmtPtr Body) {
+  assert(Body && "while statements require a body");
+  auto S = std::make_shared<AstStmt>();
+  S->Kind = AstKind::While;
+  S->Cond = std::move(Cond);
+  S->Children = {std::move(Body)};
+  return S;
+}
+
+AstStmtPtr AstStmt::mkReturn(ExprPtr Value) {
+  auto S = std::make_shared<AstStmt>();
+  S->Kind = AstKind::Return;
+  S->Cond = std::move(Value);
+  return S;
+}
+
+namespace {
+
+void indent(std::ostringstream &OS, int Depth) {
+  for (int I = 0; I < Depth; ++I)
+    OS << "  ";
+}
+
+void printStmt(const AstStmtPtr &S, std::ostringstream &OS, int Depth) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case AstKind::Block:
+    for (const auto &Child : S->Children)
+      printStmt(Child, OS, Depth);
+    return;
+  case AstKind::Simple:
+    indent(OS, Depth);
+    OS << S->Atomic.toString() << ";\n";
+    return;
+  case AstKind::If:
+    indent(OS, Depth);
+    OS << "if (" << exprToString(S->Cond) << ") {\n";
+    printStmt(S->Children[0], OS, Depth + 1);
+    indent(OS, Depth);
+    OS << "} else {\n";
+    printStmt(S->Children[1], OS, Depth + 1);
+    indent(OS, Depth);
+    OS << "}\n";
+    return;
+  case AstKind::While:
+    indent(OS, Depth);
+    OS << "while (" << exprToString(S->Cond) << ") {\n";
+    printStmt(S->Children[0], OS, Depth + 1);
+    indent(OS, Depth);
+    OS << "}\n";
+    return;
+  case AstKind::Return:
+    indent(OS, Depth);
+    OS << "return " << exprToString(S->Cond) << ";\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string dai::astToString(const ProgramAst &Prog) {
+  std::ostringstream OS;
+  for (const auto &F : Prog.Functions) {
+    OS << "function " << F.Name << "(";
+    bool First = true;
+    for (const auto &P : F.Params) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << P;
+    }
+    OS << ") {\n";
+    printStmt(F.Body, OS, 1);
+    OS << "}\n\n";
+  }
+  return OS.str();
+}

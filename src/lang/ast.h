@@ -1,0 +1,82 @@
+//===-- lang/ast.h - Structured AST for the mini-language -------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured abstract syntax for the surface mini-language (the JavaScript
+/// subset of the paper's evaluation: assignment, arrays, conditionals, while
+/// loops, and non-recursive first-order calls `x = f(y)`).
+///
+/// The AST is produced by the parser (lang/parser.h) and consumed by the
+/// AST→CFG lowering (cfg/lowering.h), which decomposes structured control
+/// flow into assume-guarded CFG edges as in Fig. 2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_LANG_AST_H
+#define DAI_LANG_AST_H
+
+#include "lang/expr.h"
+#include "lang/stmt.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+struct AstStmt;
+using AstStmtPtr = std::shared_ptr<const AstStmt>;
+
+/// Structured statement kinds.
+enum class AstKind : uint8_t {
+  Block,      ///< Sequence of statements.
+  Simple,     ///< An atomic statement (Assign/ArrayWrite/FieldWrite/...).
+  If,         ///< `if (Cond) Then else Else` (Else may be empty Block).
+  While,      ///< `while (Cond) Body`.
+  Return,     ///< `return e;` — lowers to `__ret = e` + jump to exit.
+};
+
+/// A structured statement node.
+struct AstStmt {
+  AstKind Kind;
+  Stmt Atomic;                       ///< Simple payload.
+  ExprPtr Cond;                      ///< If/While condition; Return value.
+  std::vector<AstStmtPtr> Children;  ///< Block members; If: {Then, Else};
+                                     ///< While: {Body}.
+
+  static AstStmtPtr mkBlock(std::vector<AstStmtPtr> Stmts);
+  static AstStmtPtr mkSimple(Stmt S);
+  static AstStmtPtr mkIf(ExprPtr Cond, AstStmtPtr Then, AstStmtPtr Else);
+  static AstStmtPtr mkWhile(ExprPtr Cond, AstStmtPtr Body);
+  static AstStmtPtr mkReturn(ExprPtr Value);
+};
+
+/// A function definition: `function Name(Params) Body`.
+struct FunctionAst {
+  std::string Name;
+  std::vector<std::string> Params;
+  AstStmtPtr Body;
+};
+
+/// A whole program: an ordered list of function definitions.
+struct ProgramAst {
+  std::vector<FunctionAst> Functions;
+
+  /// Returns the function named \p Name, or nullptr if absent.
+  const FunctionAst *find(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Renders \p Prog as source text (round-trips through the parser).
+std::string astToString(const ProgramAst &Prog);
+
+} // namespace dai
+
+#endif // DAI_LANG_AST_H

@@ -1,0 +1,217 @@
+//===-- lang/lexer.cpp - Tokenizer implementation -------------------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace dai;
+
+const char *dai::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of input";
+  case TokenKind::Error: return "error";
+  case TokenKind::Ident: return "identifier";
+  case TokenKind::IntLit: return "integer literal";
+  case TokenKind::KwFunction: return "'function'";
+  case TokenKind::KwVar: return "'var'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwPrint: return "'print'";
+  case TokenKind::KwNew: return "'new'";
+  case TokenKind::KwNull: return "'null'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwList: return "'List'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Lt: return "'<'";
+  case TokenKind::Le: return "'<='";
+  case TokenKind::Gt: return "'>'";
+  case TokenKind::Ge: return "'>='";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  case TokenKind::AndAnd: return "'&&'";
+  case TokenKind::OrOr: return "'||'";
+  case TokenKind::Not: return "'!'";
+  }
+  assert(false && "unknown token kind");
+  return "?";
+}
+
+namespace {
+
+TokenKind keywordKind(const std::string &Text) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"function", TokenKind::KwFunction}, {"var", TokenKind::KwVar},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},       {"return", TokenKind::KwReturn},
+      {"print", TokenKind::KwPrint},       {"new", TokenKind::KwNew},
+      {"null", TokenKind::KwNull},         {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},       {"List", TokenKind::KwList},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Ident : It->second;
+}
+
+} // namespace
+
+std::vector<Token> dai::tokenize(std::string_view Src) {
+  std::vector<Token> Out;
+  size_t I = 0, N = Src.size();
+  int Line = 1, Col = 1;
+
+  auto emit = [&](TokenKind K, std::string Text, int L, int C) {
+    Out.push_back(Token{K, std::move(Text), L, C});
+  };
+  auto advance = [&]() {
+    if (Src[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    int TokLine = Line, TokCol = Col;
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    // Line comments: // ... and string-free block comments /* ... */.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      advance();
+      advance();
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/'))
+        advance();
+      if (I + 1 >= N) {
+        emit(TokenKind::Error, "unterminated block comment", TokLine, TokCol);
+        return Out;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    // String literals appear only in print(...) payloads; their content is
+    // irrelevant to analysis, so we tokenize them as the integer literal 0.
+    if (C == '"') {
+      advance();
+      while (I < N && Src[I] != '"')
+        advance();
+      if (I >= N) {
+        emit(TokenKind::Error, "unterminated string literal", TokLine, TokCol);
+        return Out;
+      }
+      advance();
+      emit(TokenKind::IntLit, "0", TokLine, TokCol);
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_')) {
+        Text.push_back(Src[I]);
+        advance();
+      }
+      TokenKind Kind = keywordKind(Text);
+      emit(Kind, std::move(Text), TokLine, TokCol);
+      continue;
+    }
+    // Integer literals.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Src[I]))) {
+        Text.push_back(Src[I]);
+        advance();
+      }
+      emit(TokenKind::IntLit, std::move(Text), TokLine, TokCol);
+      continue;
+    }
+    // Operators and punctuation.
+    auto twoChar = [&](char Next, TokenKind Two, TokenKind One) {
+      advance();
+      if (I < N && Src[I] == Next) {
+        advance();
+        emit(Two, "", TokLine, TokCol);
+      } else {
+        emit(One, "", TokLine, TokCol);
+      }
+    };
+    switch (C) {
+    case '(': advance(); emit(TokenKind::LParen, "", TokLine, TokCol); break;
+    case ')': advance(); emit(TokenKind::RParen, "", TokLine, TokCol); break;
+    case '{': advance(); emit(TokenKind::LBrace, "", TokLine, TokCol); break;
+    case '}': advance(); emit(TokenKind::RBrace, "", TokLine, TokCol); break;
+    case '[': advance(); emit(TokenKind::LBracket, "", TokLine, TokCol); break;
+    case ']': advance(); emit(TokenKind::RBracket, "", TokLine, TokCol); break;
+    case ',': advance(); emit(TokenKind::Comma, "", TokLine, TokCol); break;
+    case ';': advance(); emit(TokenKind::Semi, "", TokLine, TokCol); break;
+    case '.': advance(); emit(TokenKind::Dot, "", TokLine, TokCol); break;
+    case '+': advance(); emit(TokenKind::Plus, "", TokLine, TokCol); break;
+    case '-': advance(); emit(TokenKind::Minus, "", TokLine, TokCol); break;
+    case '*': advance(); emit(TokenKind::Star, "", TokLine, TokCol); break;
+    case '/': advance(); emit(TokenKind::Slash, "", TokLine, TokCol); break;
+    case '%': advance(); emit(TokenKind::Percent, "", TokLine, TokCol); break;
+    case '=': twoChar('=', TokenKind::EqEq, TokenKind::Assign); break;
+    case '<': twoChar('=', TokenKind::Le, TokenKind::Lt); break;
+    case '>': twoChar('=', TokenKind::Ge, TokenKind::Gt); break;
+    case '!': twoChar('=', TokenKind::NotEq, TokenKind::Not); break;
+    case '&':
+      advance();
+      if (I < N && Src[I] == '&') {
+        advance();
+        emit(TokenKind::AndAnd, "", TokLine, TokCol);
+      } else {
+        emit(TokenKind::Error, "expected '&&'", TokLine, TokCol);
+        return Out;
+      }
+      break;
+    case '|':
+      advance();
+      if (I < N && Src[I] == '|') {
+        advance();
+        emit(TokenKind::OrOr, "", TokLine, TokCol);
+      } else {
+        emit(TokenKind::Error, "expected '||'", TokLine, TokCol);
+        return Out;
+      }
+      break;
+    default:
+      emit(TokenKind::Error,
+           std::string("unexpected character '") + C + "'", TokLine, TokCol);
+      return Out;
+    }
+  }
+  emit(TokenKind::Eof, "", Line, Col);
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===-- lang/lexer.h - Tokenizer for the mini-language ----------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written tokenizer. Produces a token stream with source positions for
+/// diagnostics; unknown characters produce an Error token rather than
+/// aborting, so the parser can report a located message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_LANG_LEXER_H
+#define DAI_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dai {
+
+enum class TokenKind : uint8_t {
+  Eof, Error,
+  Ident, IntLit,
+  // Keywords.
+  KwFunction, KwVar, KwIf, KwElse, KwWhile, KwReturn, KwPrint, KwNew,
+  KwNull, KwTrue, KwFalse, KwList,
+  // Punctuation and operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Dot,
+  Assign,                           // =
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, NotEq,
+  AndAnd, OrOr, Not,
+};
+
+/// Returns a human-readable description of \p Kind for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind;
+  std::string Text;  ///< Identifier spelling / integer digits / error message.
+  int Line = 0;
+  int Col = 0;
+};
+
+/// Tokenizes \p Source completely. The final token is always Eof (or Error,
+/// in which case its Text explains the problem).
+std::vector<Token> tokenize(std::string_view Source);
+
+} // namespace dai
+
+#endif // DAI_LANG_LEXER_H

@@ -1,0 +1,61 @@
+//===-- lang/parser.h - Recursive-descent parser ----------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the mini-language. Grammar (EBNF):
+///
+/// \code
+///   program   := function*
+///   function  := "function" ID "(" [ID ("," ID)*] ")" block
+///   block     := "{" stmt* "}"
+///   stmt      := "var" ID "=" rhs ";"
+///              | ID "=" rhs ";"
+///              | ID "[" expr "]" "=" expr ";"
+///              | ID "." ID "=" expr ";"
+///              | "if" "(" expr ")" block ["else" (block | ifstmt)]
+///              | "while" "(" expr ")" block
+///              | "return" [expr] ";"
+///              | "print" "(" expr ")" ";"
+///              | ";"
+///   rhs       := "new" "List" ["(" ")"]
+///              | ID "(" [expr ("," expr)*] ")"   // first-order call
+///              | expr
+///   expr      := or-expr with C precedence; postfix [e], .field
+/// \endcode
+///
+/// Errors are reported by position without exceptions: parse() returns a
+/// ParseResult whose Error is empty on success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_LANG_PARSER_H
+#define DAI_LANG_PARSER_H
+
+#include "lang/ast.h"
+
+#include <string>
+#include <string_view>
+
+namespace dai {
+
+/// Outcome of a parse: a program plus an empty error, or a located message.
+struct ParseResult {
+  ProgramAst Program;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses a whole program.
+ParseResult parseProgram(std::string_view Source);
+
+/// Parses a single function body given as a bare block or statement list
+/// (convenience for tests): wraps \p Source in `function main() { ... }`.
+ParseResult parseSnippet(std::string_view Source);
+
+} // namespace dai
+
+#endif // DAI_LANG_PARSER_H

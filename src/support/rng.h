@@ -1,0 +1,69 @@
+//===-- support/rng.h - Deterministic random number generator --*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, explicitly specified PRNG (splitmix64 + xoshiro-style mixing)
+/// so that synthetic workloads (Section 7.3 of the paper) are reproducible
+/// bit-for-bit across platforms, independent of libstdc++'s distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_SUPPORT_RNG_H
+#define DAI_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dai {
+
+/// Deterministic 64-bit PRNG with convenience sampling helpers.
+///
+/// The generator is splitmix64: tiny state, excellent statistical quality for
+/// workload-generation purposes, and trivially reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    // Rejection sampling to avoid modulo bias; the loop nearly never repeats.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns an integer in the inclusive range [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Percent/100.
+  bool percent(unsigned Percent) { return below(100) < Percent; }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dai
+
+#endif // DAI_SUPPORT_RNG_H

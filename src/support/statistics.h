@@ -1,0 +1,69 @@
+//===-- support/statistics.h - Analysis operation counters -----*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters for abstract-interpretation work performed by the framework.
+/// The paper's evaluation (Section 7.3) compares analysis configurations by
+/// latency; these counters additionally let tests assert *exact* reuse
+/// behavior (e.g., the Section 2 example: a re-query after the Fig. 4b edit
+/// executes exactly two transfers and one join).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_SUPPORT_STATISTICS_H
+#define DAI_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <ostream>
+
+namespace dai {
+
+/// Work counters shared by the DAIG, memo table, and batch interpreter.
+struct Statistics {
+  uint64_t Transfers = 0;     ///< Abstract transfer-function applications.
+  uint64_t Joins = 0;         ///< Join (⊔) applications.
+  uint64_t Widens = 0;        ///< Widen (∇) applications.
+  uint64_t FixChecks = 0;     ///< Convergence checks at fix edges.
+  uint64_t Unrollings = 0;    ///< Demanded loop unrollings (Q-Loop-Unroll).
+  uint64_t CellReuses = 0;    ///< Q-Reuse hits (value already in DAIG).
+  uint64_t MemoHits = 0;      ///< Q-Match hits (auxiliary memo table).
+  uint64_t MemoMisses = 0;    ///< Q-Miss events (computed and memoized).
+  uint64_t CellsDirtied = 0;  ///< Reference cells emptied by edits.
+  uint64_t CallSummaries = 0; ///< Interprocedural callee-summary demands.
+
+  void reset() { *this = Statistics(); }
+
+  /// Total domain operations (the expensive work in rich domains).
+  uint64_t domainOps() const { return Transfers + Joins + Widens; }
+
+  Statistics operator-(const Statistics &O) const {
+    Statistics R;
+    R.Transfers = Transfers - O.Transfers;
+    R.Joins = Joins - O.Joins;
+    R.Widens = Widens - O.Widens;
+    R.FixChecks = FixChecks - O.FixChecks;
+    R.Unrollings = Unrollings - O.Unrollings;
+    R.CellReuses = CellReuses - O.CellReuses;
+    R.MemoHits = MemoHits - O.MemoHits;
+    R.MemoMisses = MemoMisses - O.MemoMisses;
+    R.CellsDirtied = CellsDirtied - O.CellsDirtied;
+    R.CallSummaries = CallSummaries - O.CallSummaries;
+    return R;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
+  OS << "{transfers=" << S.Transfers << " joins=" << S.Joins
+     << " widens=" << S.Widens << " unrollings=" << S.Unrollings
+     << " cellReuses=" << S.CellReuses << " memoHits=" << S.MemoHits
+     << " memoMisses=" << S.MemoMisses << " dirtied=" << S.CellsDirtied
+     << " callSummaries=" << S.CallSummaries << "}";
+  return OS;
+}
+
+} // namespace dai
+
+#endif // DAI_SUPPORT_STATISTICS_H

@@ -1,0 +1,176 @@
+//===-- tests/daig_support_test.cpp - Memo table & support tests ----------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Remaining public surface: the auxiliary memo table (lookup/store/evict
+/// semantics and its observable effect on Q-Match), statistics accounting,
+/// the deterministic RNG, and DAIG introspection APIs (dirtyEverything,
+/// queryAllLocations, exit cell naming).
+///
+//===----------------------------------------------------------------------===//
+
+#include "daig/memo_table.h"
+
+#include "daig/daig.h"
+#include "domain/constprop.h"
+#include "domain/interval.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace dai;
+using namespace dai::test;
+
+namespace {
+
+TEST(MemoTable, StoreLookupRoundTrip) {
+  MemoTable<ConstPropDomain> M;
+  Name K = Name::pair(Name::fn(FnKind::Transfer), Name::valHash(0x1234));
+  EXPECT_FALSE(M.lookup(K).has_value());
+  ConstState V;
+  V.Env["x"] = 7;
+  M.store(K, V);
+  auto Hit = M.lookup(K);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->get("x"), std::optional<int64_t>(7));
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(MemoTable, OverwriteKeepsSingleEntry) {
+  MemoTable<ConstPropDomain> M;
+  Name K = Name::valHash(9);
+  ConstState A, B;
+  A.Env["x"] = 1;
+  B.Env["x"] = 2;
+  M.store(K, A);
+  M.store(K, B);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_EQ(M.lookup(K)->get("x"), std::optional<int64_t>(2));
+}
+
+TEST(MemoTable, EvictsOldestBeyondCap) {
+  MemoTable<ConstPropDomain> M(/*MaxEntries=*/3);
+  for (uint64_t I = 0; I < 5; ++I)
+    M.store(Name::valHash(I), ConstState());
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_FALSE(M.lookup(Name::valHash(0)).has_value()) << "FIFO eviction";
+  EXPECT_TRUE(M.lookup(Name::valHash(4)).has_value());
+}
+
+TEST(MemoTable, SharedAcrossDaigsEnablesQMatch) {
+  // Two DAIGs over identical programs share a memo table: the second's
+  // query must be answered by Q-Match (no transfers at all).
+  Function F1 = mustLowerFn("function main() { var x = 1; return x + 1; }",
+                            "main");
+  Function F2 = mustLowerFn("function main() { var x = 1; return x + 1; }",
+                            "main");
+  Statistics Stats;
+  MemoTable<ConstPropDomain> Memo;
+  Daig<ConstPropDomain> G1(&F1.Body, ConstPropDomain::initialEntry({}),
+                           &Stats, &Memo);
+  (void)G1.queryLocation(F1.Body.exit());
+  uint64_t TransfersAfterFirst = Stats.Transfers;
+  EXPECT_GT(TransfersAfterFirst, 0u);
+
+  Daig<ConstPropDomain> G2(&F2.Body, ConstPropDomain::initialEntry({}),
+                           &Stats, &Memo);
+  (void)G2.queryLocation(F2.Body.exit());
+  EXPECT_EQ(Stats.Transfers, TransfersAfterFirst)
+      << "identical computations must memo-match";
+  EXPECT_GT(Stats.MemoHits, 0u);
+}
+
+TEST(DaigIntrospection, DirtyEverythingForcesFullRecompute) {
+  Function F = mustLowerFn(R"(
+    function main(n) {
+      var i = 0;
+      while (i < n) { i = i + 1; }
+      return i;
+    })",
+                           "main");
+  Statistics Stats;
+  Daig<IntervalDomain> G(&F.Body, IntervalDomain::initialEntry(F.Params),
+                         &Stats);
+  IntervalState First = G.queryLocation(F.Body.exit());
+  G.dirtyEverything();
+  EXPECT_EQ(G.checkWellFormed(), "");
+  EXPECT_EQ(G.unrolledLoopCount(), 0u) << "loops reset to initial iterates";
+  IntervalState Second = G.queryLocation(F.Body.exit());
+  EXPECT_TRUE(IntervalDomain::equal(First, Second));
+}
+
+TEST(DaigIntrospection, QueryAllLocationsFillsEverything) {
+  Function F = mustLowerFn(R"(
+    function main(c) {
+      var x = 0;
+      if (c > 0) { x = 1; } else { x = 2; }
+      return x;
+    })",
+                           "main");
+  Statistics Stats;
+  Daig<IntervalDomain> G(&F.Body, IntervalDomain::initialEntry(F.Params),
+                         &Stats);
+  G.queryAllLocations();
+  uint64_t Transfers = Stats.Transfers;
+  G.queryAllLocations(); // second sweep: pure reuse
+  EXPECT_EQ(Stats.Transfers, Transfers);
+  EXPECT_EQ(G.checkAiConsistency(), "");
+}
+
+TEST(DaigIntrospection, ExitCellNameIsQueryable) {
+  Function F = mustLowerFn("function main() { return 3; }", "main");
+  Daig<ConstPropDomain> G(&F.Body, ConstPropDomain::initialEntry({}));
+  ASSERT_TRUE(G.hasCell(G.exitCellName()));
+  EXPECT_FALSE(G.cellHasValue(G.exitCellName()));
+  (void)G.queryState(G.exitCellName());
+  EXPECT_TRUE(G.cellHasValue(G.exitCellName()));
+}
+
+TEST(Statistics, DifferenceOperator) {
+  Statistics A, B;
+  A.Transfers = 10;
+  A.Joins = 4;
+  B.Transfers = 3;
+  B.Joins = 1;
+  Statistics D = A - B;
+  EXPECT_EQ(D.Transfers, 7u);
+  EXPECT_EQ(D.Joins, 3u);
+  EXPECT_EQ(A.domainOps(), 14u);
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t X = A.next();
+    EXPECT_EQ(X, B.next());
+    int64_t R = A.range(-5, 5);
+    EXPECT_GE(R, -5);
+    EXPECT_LE(R, 5);
+    EXPECT_EQ(R, B.range(-5, 5));
+    uint64_t U = A.below(7);
+    EXPECT_LT(U, 7u);
+    B.below(7);
+  }
+  // Different seeds diverge quickly.
+  bool Diverged = false;
+  Rng A2(42);
+  for (int I = 0; I < 10 && !Diverged; ++I)
+    Diverged = A2.next() != C.next();
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(Rng, PercentIsCalibrated) {
+  Rng R(7);
+  unsigned Hits = 0;
+  const unsigned N = 20000;
+  for (unsigned I = 0; I < N; ++I)
+    if (R.percent(85))
+      ++Hits;
+  EXPECT_NEAR(Hits / double(N), 0.85, 0.02);
+}
+
+} // namespace

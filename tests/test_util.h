@@ -1,0 +1,75 @@
+//===-- tests/test_util.h - Shared test helpers -----------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared fixtures: canned programs (including the paper's `append` from
+/// Fig. 1), frontend helpers, and cross-checking of DAIG query results
+/// against the batch interpreter (Theorem 6.1, from-scratch consistency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_TESTS_TEST_UTIL_H
+#define DAI_TESTS_TEST_UTIL_H
+
+#include "analysis/batch_interpreter.h"
+#include "cfg/lowering.h"
+#include "daig/daig.h"
+
+#include <gtest/gtest.h>
+
+namespace dai::test {
+
+/// The paper's Fig. 1 running example.
+inline constexpr const char *AppendSource = R"(
+function append(p, q) {
+  if (p == null) {
+    return q;
+  }
+  var r = p;
+  while (r.next != null) {
+    r = r.next;
+  }
+  r.next = q;
+  return p;
+}
+)";
+
+/// Parses and lowers \p Source, expecting success.
+inline Program mustLower(std::string_view Source) {
+  LowerResult R = frontend(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.Prog);
+}
+
+inline Function mustLowerFn(std::string_view Source, const std::string &Name) {
+  Program P = mustLower(Source);
+  Function *F = P.find(Name);
+  EXPECT_NE(F, nullptr) << "no function named " << Name;
+  return std::move(*F);
+}
+
+/// Asserts that DAIG queries agree with the batch interpreter at every
+/// reachable location of \p F (from-scratch consistency, Theorem 6.1).
+template <typename D>
+void expectFromScratchConsistent(Function &F, Daig<D> &Graph,
+                                 const std::string &Context = "") {
+  CfgInfo Info = analyzeCfg(F.Body);
+  ASSERT_TRUE(Info.valid()) << Info.Error;
+  BatchInterpreter<D> Batch(F.Body, Info);
+  auto Expected = Batch.run(D::initialEntry(F.Params));
+  for (Loc L : Info.Rpo) {
+    typename D::Elem Got = Graph.queryLocation(L);
+    EXPECT_TRUE(D::equal(Got, Expected.at(L)))
+        << Context << " location l" << L << ": demanded=" << D::toString(Got)
+        << " batch=" << D::toString(Expected.at(L));
+  }
+  EXPECT_EQ(Graph.checkWellFormed(), "") << Context;
+  EXPECT_EQ(Graph.checkAiConsistency(), "") << Context;
+}
+
+} // namespace dai::test
+
+#endif // DAI_TESTS_TEST_UTIL_H
