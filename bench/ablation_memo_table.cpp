@@ -40,6 +40,7 @@ double runTrial(bool UseMemo, unsigned Edits, uint64_t Seed,
   Function &Main = *P.find("main");
 
   MemoTable<OctagonDomain> Memo;
+  Memo.attachStatistics(&Stats); // same lifetime: safe sink
   double TotalMs = 0;
   for (unsigned I = 0; I < Edits; ++I) {
     Gen.applyRandomEdit(P);
@@ -72,21 +73,23 @@ int main(int argc, char **argv) {
   std::printf("# Ablation A1: auxiliary memo table on/off, demand-driven-"
               "only configuration, octagon domain, %u edits\n\n",
               Edits);
-  std::printf("%-12s %12s %14s %12s %12s\n", "Memo", "total(ms)",
-              "transfers", "memo hits", "memo misses");
+  std::printf("%-12s %12s %14s %12s %12s %12s\n", "Memo", "total(ms)",
+              "transfers", "memo hits", "memo misses", "evictions");
 
   Statistics WithStats, WithoutStats;
   double With = runTrial(true, Edits, Seed, WithStats);
   double Without = runTrial(false, Edits, Seed, WithoutStats);
 
-  std::printf("%-12s %12.1f %14llu %12llu %12llu\n", "enabled", With,
+  std::printf("%-12s %12.1f %14llu %12llu %12llu %12llu\n", "enabled", With,
               (unsigned long long)WithStats.Transfers,
               (unsigned long long)WithStats.MemoHits,
-              (unsigned long long)WithStats.MemoMisses);
-  std::printf("%-12s %12.1f %14llu %12llu %12llu\n", "disabled", Without,
-              (unsigned long long)WithoutStats.Transfers,
+              (unsigned long long)WithStats.MemoMisses,
+              (unsigned long long)WithStats.MemoEvictions);
+  std::printf("%-12s %12.1f %14llu %12llu %12llu %12llu\n", "disabled",
+              Without, (unsigned long long)WithoutStats.Transfers,
               (unsigned long long)WithoutStats.MemoHits,
-              (unsigned long long)WithoutStats.MemoMisses);
+              (unsigned long long)WithoutStats.MemoMisses,
+              (unsigned long long)WithoutStats.MemoEvictions);
   std::printf("\n# speedup from memoization: %.2fx; transfers avoided: "
               "%.0f%%\n",
               Without / (With > 0 ? With : 1),

@@ -17,6 +17,13 @@
 ///   - `CDF <config> <ms> <fraction>` rows (the cumulative latency plot),
 ///   - and a paper-style summary table (mean / p50 / p90 / p95 / p99).
 ///
+/// Additionally writes machine-readable `BENCH_fig10.json` (override with
+/// `--json PATH`, disable with `--no-json`): the per-config summary plus a
+/// variable-count sweep (`--sizes 8,16,32,48`) of the incr+demand
+/// configuration reporting wall time and DBM closure counters per size, so
+/// successive PRs can track the perf trajectory and *why* it moved (full
+/// vs. incremental closure mix; see support/statistics.h).
+///
 /// Defaults are scaled down from the paper's 3,000 edits × 9 trials so the
 /// whole suite runs in CI time; pass `--edits 3000 --trials 9` for paper
 /// scale. Same-seed trials issue identical edit/query sequences to every
@@ -27,6 +34,7 @@
 #include "analysis/batch_interpreter.h"
 #include "domain/octagon.h"
 #include "interproc/engine.h"
+#include "support/statistics.h"
 #include "workload/generator.h"
 
 #include <algorithm>
@@ -74,6 +82,8 @@ struct Options {
   unsigned Vars = 12; ///< Variable pool (octagon closure is O((2v)^3)).
   unsigned ScatterPoints = 120; ///< Downsampling budget per config.
   bool RunBatch = true;
+  std::string JsonPath = "BENCH_fig10.json"; ///< Empty disables JSON.
+  std::vector<unsigned> SweepSizes = {8, 16, 32, 48};
 };
 
 /// Runs one trial of one configuration; every configuration sees the
@@ -148,6 +158,33 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
   return Samples;
 }
 
+/// One entry of the per-size sweep: the incr+demand configuration run at a
+/// given variable-pool size, with wall time and closure-counter deltas.
+struct SweepResult {
+  unsigned Vars;
+  double WallMs;     ///< Total wall time of the trial (incl. bookkeeping).
+  double AnalysisMs; ///< Sum of per-edit analysis latencies.
+  ClosureCounters Closure;
+};
+
+SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
+  Options SizeOpt = Opt;
+  SizeOpt.Vars = Vars;
+  ClosureCounters Before = closureCounters();
+  Clock::time_point Start = Clock::now();
+  std::vector<Sample> Samples =
+      runTrial(Config::IncrementalAndDemand, SizeOpt, Opt.Seed);
+  double WallMs = msSince(Start);
+  SweepResult R;
+  R.Vars = Vars;
+  R.WallMs = WallMs;
+  R.AnalysisMs = 0;
+  for (const Sample &S : Samples)
+    R.AnalysisMs += S.Ms;
+  R.Closure = closureCounters() - Before;
+  return R;
+}
+
 double percentile(std::vector<double> Sorted, double P) {
   if (Sorted.empty())
     return 0;
@@ -182,10 +219,35 @@ int main(int argc, char **argv) {
       Opt.Vars = static_cast<unsigned>(next("--vars"));
     else if (!std::strcmp(argv[I], "--no-batch"))
       Opt.RunBatch = false;
-    else {
+    else if (!std::strcmp(argv[I], "--json")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --json\n");
+        return 1;
+      }
+      Opt.JsonPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--no-json"))
+      Opt.JsonPath.clear();
+    else if (!std::strcmp(argv[I], "--sizes")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --sizes\n");
+        return 1;
+      }
+      Opt.SweepSizes.clear();
+      for (const char *P = argv[++I]; *P;) {
+        char *End = nullptr;
+        long V = std::strtol(P, &End, 10);
+        if (End == P || V <= 0) {
+          std::fprintf(stderr, "bad --sizes list\n");
+          return 1;
+        }
+        Opt.SweepSizes.push_back(static_cast<unsigned>(V));
+        P = (*End == ',') ? End + 1 : End;
+      }
+    } else {
       std::fprintf(stderr,
                    "usage: %s [--edits N] [--trials N] [--queries N] "
-                   "[--seed S] [--no-batch]\n",
+                   "[--seed S] [--vars N] [--no-batch] [--json PATH] "
+                   "[--no-json] [--sizes N,N,...]\n",
                    argv[0]);
       return 1;
     }
@@ -272,5 +334,70 @@ int main(int argc, char **argv) {
     std::printf("\n# I&DD p95 advantage over next-best configuration: %.1fx "
                 "(paper reports >5x)\n",
                 BestOtherP95 / IddP95);
+
+  if (Opt.JsonPath.empty())
+    return 0;
+
+  // Per-size sweep of the incr+demand configuration: the perf trajectory
+  // that future PRs regress against, with the closure mix explaining it.
+  std::vector<SweepResult> Sweep;
+  for (unsigned V : Opt.SweepSizes) {
+    Sweep.push_back(runSweepPoint(Opt, V));
+    std::fprintf(stderr, "sweep vars=%u done (%.1f ms)\n", V,
+                 Sweep.back().WallMs);
+  }
+
+  FILE *F = std::fopen(Opt.JsonPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Opt.JsonPath.c_str());
+    return 1;
+  }
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"bench\": \"fig10_octagon_workload\",\n");
+  std::fprintf(F,
+               "  \"edits\": %u,\n  \"trials\": %u,\n  \"queries\": %u,\n"
+               "  \"seed\": %llu,\n",
+               Opt.Edits, Opt.Trials, Opt.Queries,
+               static_cast<unsigned long long>(Opt.Seed));
+  std::fprintf(F, "  \"configs\": [\n");
+  for (size_t RI = 0; RI < Results.size(); ++RI) {
+    const ConfigResult &R = Results[RI];
+    std::vector<double> Sorted;
+    double Sum = 0;
+    for (const Sample &S : R.AllSamples) {
+      Sorted.push_back(S.Ms);
+      Sum += S.Ms;
+    }
+    std::sort(Sorted.begin(), Sorted.end());
+    double Mean = Sorted.empty() ? 0 : Sum / static_cast<double>(Sorted.size());
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                 "\"p90_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 configName(R.C), Mean, percentile(Sorted, 50),
+                 percentile(Sorted, 90), percentile(Sorted, 95),
+                 percentile(Sorted, 99),
+                 RI + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"sizes\": [\n");
+  for (size_t SI = 0; SI < Sweep.size(); ++SI) {
+    const SweepResult &S = Sweep[SI];
+    std::fprintf(
+        F,
+        "    {\"vars\": %u, \"wall_ms\": %.3f, \"analysis_ms\": %.3f, "
+        "\"full_closes\": %llu, \"incremental_closes\": %llu, "
+        "\"closes_skipped\": %llu, \"cached_closes\": %llu, "
+        "\"dbm_cells_touched\": %llu}%s\n",
+        S.Vars, S.WallMs, S.AnalysisMs,
+        static_cast<unsigned long long>(S.Closure.FullCloses),
+        static_cast<unsigned long long>(S.Closure.IncrementalCloses),
+        static_cast<unsigned long long>(S.Closure.ClosesSkipped),
+        static_cast<unsigned long long>(S.Closure.CachedCloses),
+        static_cast<unsigned long long>(S.Closure.CellsTouched),
+        SI + 1 < Sweep.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::fprintf(stderr, "wrote %s\n", Opt.JsonPath.c_str());
   return 0;
 }

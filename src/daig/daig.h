@@ -84,6 +84,10 @@ public:
     bool operator==(const Comp &O) const { return F == O.F && Srcs == O.Srcs; }
   };
 
+  /// Note: the memo table counts its own hits/misses/evictions into the
+  /// Statistics attached to IT (MemoTable::attachStatistics) — attachment
+  /// is the table owner's decision, since the sink must outlive the table
+  /// (this DAIG may be a short-lived rebuild temporary sharing the table).
   Daig(Cfg *G, Elem EntryValue, Statistics *Stats = nullptr,
        MemoTable<D> *Memo = nullptr)
       : G(G), EntryValue(std::move(EntryValue)), Stats(Stats), Memo(Memo) {
@@ -861,20 +865,14 @@ private:
           Name::fn(FnKind::Transfer),
           Name::pair(Name::valHash(S.hash()), Name::valHash(D::hash(In))));
       if (!IsCall && Memo) {
-        if (auto Hit = Memo->lookup(Key)) {
-          if (Stats)
-            ++Stats->MemoHits;
+        if (auto Hit = Memo->lookup(Key))
           return *Hit;
-        }
       }
       if (Stats)
         ++Stats->Transfers;
       Elem Out = (IsCall && Hook) ? Hook(S, In) : D::transfer(S, In);
-      if (!IsCall && Memo) {
-        if (Stats)
-          ++Stats->MemoMisses;
+      if (!IsCall && Memo)
         Memo->store(Key, Out);
-      }
       return Out;
     }
     case FnKind::Join: {
@@ -886,11 +884,8 @@ private:
         Key = Name::pair(Key, Name::valHash(D::hash(Ins.back())));
       }
       if (Memo) {
-        if (auto Hit = Memo->lookup(Key)) {
-          if (Stats)
-            ++Stats->MemoHits;
+        if (auto Hit = Memo->lookup(Key))
           return *Hit;
-        }
       }
       assert(!Ins.empty() && "join with no inputs");
       Elem Acc = Ins[0];
@@ -899,11 +894,8 @@ private:
           ++Stats->Joins;
         Acc = D::join(Acc, Ins[I]);
       }
-      if (Memo) {
-        if (Stats)
-          ++Stats->MemoMisses;
+      if (Memo)
         Memo->store(Key, Acc);
-      }
       return Acc;
     }
     case FnKind::Widen: {
@@ -913,20 +905,14 @@ private:
           Name::fn(FnKind::Widen),
           Name::pair(Name::valHash(D::hash(Prev)), Name::valHash(D::hash(Next))));
       if (Memo) {
-        if (auto Hit = Memo->lookup(Key)) {
-          if (Stats)
-            ++Stats->MemoHits;
+        if (auto Hit = Memo->lookup(Key))
           return *Hit;
-        }
       }
       if (Stats)
         ++Stats->Widens;
       Elem Out = D::widen(Prev, Next);
-      if (Memo) {
-        if (Stats)
-          ++Stats->MemoMisses;
+      if (Memo)
         Memo->store(Key, Out);
-      }
       return Out;
     }
     case FnKind::Fix:

@@ -13,7 +13,17 @@
 /// paper puts it, names are "hashes, essentially".
 ///
 /// Dropping entries is always sound (Section 2.2): eviction trades reuse for
-/// memory, so the table exposes a size cap with FIFO eviction.
+/// memory, so the table exposes a size cap with LRU eviction — lookups
+/// refresh recency, so hot transfer/join results survive long edit sessions
+/// that a FIFO policy would churn through. Recency is an intrusive list
+/// woven through the map (list nodes point at the map's own keys; no
+/// duplicate key storage).
+///
+/// Hit/miss/eviction counts are reported through an attached Statistics
+/// (attachStatistics). Attachment is the table OWNER's responsibility —
+/// the sink must outlive the table — so InterprocEngine attaches its own
+/// Statistics, and standalone users (benches, tests) attach explicitly;
+/// the Daig never attaches on its callers' behalf.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,8 +32,9 @@
 
 #include "daig/name.h"
 #include "domain/abstract_domain.h"
+#include "support/statistics.h"
 
-#include <deque>
+#include <list>
 #include <optional>
 #include <unordered_map>
 
@@ -38,42 +49,78 @@ public:
 
   explicit MemoTable(size_t MaxEntries = 1u << 20) : MaxEntries(MaxEntries) {}
 
-  /// Returns the memoized result for \p Key, if present.
-  std::optional<Elem> lookup(const Name &Key) const {
-    auto It = Table.find(Key);
-    if (It == Table.end())
-      return std::nullopt;
-    return It->second;
+  /// Routes hit/miss/eviction counts into \p S (MemoHits, MemoMisses,
+  /// MemoEvictions). Pass nullptr to detach. With several sinks attaching
+  /// to a shared table, the last attach wins.
+  void attachStatistics(Statistics *S) { Stats = S; }
+
+  /// Detaches \p S if it is the current sink (no-op otherwise) — callers
+  /// whose Statistics dies before a shared table MUST call this, or the
+  /// table would keep counting into freed memory.
+  void detachStatistics(Statistics *S) {
+    if (Stats == S)
+      Stats = nullptr;
   }
 
-  /// Records \p Key ↦ \p Value, evicting the oldest entry beyond the cap.
+  /// Returns the memoized result for \p Key, if present, marking the entry
+  /// most-recently-used.
+  std::optional<Elem> lookup(const Name &Key) {
+    auto It = Table.find(Key);
+    if (It == Table.end()) {
+      if (Stats)
+        ++Stats->MemoMisses;
+      return std::nullopt;
+    }
+    touch(It->second.LruIt);
+    if (Stats)
+      ++Stats->MemoHits;
+    return It->second.Value;
+  }
+
+  /// Records \p Key ↦ \p Value, evicting least-recently-used entries beyond
+  /// the cap.
   void store(const Name &Key, Elem Value) {
     // Find-then-assign: emplace may consume the moved argument even when
     // insertion fails, which would overwrite with a moved-from value.
     auto It = Table.find(Key);
     if (It != Table.end()) {
-      It->second = std::move(Value);
+      It->second.Value = std::move(Value);
+      touch(It->second.LruIt);
       return;
     }
-    Table.emplace(Key, std::move(Value));
-    InsertionOrder.push_back(Key);
-    while (Table.size() > MaxEntries && !InsertionOrder.empty()) {
-      Table.erase(InsertionOrder.front());
-      InsertionOrder.pop_front();
+    It = Table.emplace(Key, Entry{std::move(Value), {}}).first;
+    Lru.push_front(&It->first); // unordered_map keys are address-stable
+    It->second.LruIt = Lru.begin();
+    while (Table.size() > MaxEntries && !Lru.empty()) {
+      Table.erase(*Lru.back());
+      Lru.pop_back();
+      if (Stats)
+        ++Stats->MemoEvictions;
     }
   }
 
   void clear() {
     Table.clear();
-    InsertionOrder.clear();
+    Lru.clear();
   }
 
   size_t size() const { return Table.size(); }
 
 private:
+  struct Entry {
+    Elem Value;
+    typename std::list<const Name *>::iterator LruIt;
+  };
+
+  /// Moves an entry's recency node to the front (most recently used).
+  void touch(typename std::list<const Name *>::iterator It) {
+    Lru.splice(Lru.begin(), Lru, It);
+  }
+
   size_t MaxEntries;
-  std::unordered_map<Name, Elem, NameHash> Table;
-  std::deque<Name> InsertionOrder;
+  Statistics *Stats = nullptr;
+  std::unordered_map<Name, Entry, NameHash> Table;
+  std::list<const Name *> Lru; ///< Front = most recent; back is evicted.
 };
 
 } // namespace dai

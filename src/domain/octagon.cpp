@@ -8,6 +8,7 @@
 
 #include "cfg/program.h"
 #include "support/hashing.h"
+#include "support/statistics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -42,21 +43,22 @@ int64_t floorDiv2(int64_t A) {
 } // namespace
 
 size_t Octagon::varIndex(const std::string &Var) const {
-  auto It = std::lower_bound(Vars.begin(), Vars.end(), Var);
-  if (It == Vars.end() || *It != Var)
+  auto It = std::lower_bound(varList().begin(), varList().end(), Var);
+  if (It == varList().end() || *It != Var)
     return npos;
-  return static_cast<size_t>(It - Vars.begin());
+  return static_cast<size_t>(It - varList().begin());
 }
 
 void Octagon::resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew) {
   assert(OldIndexOfNew.size() == NewN && "index map must cover new vars");
-  size_t OldDim = 2 * (M.empty() ? 0 : Vars.size());
-  (void)OldDim;
+  // No invalidateDerived() here: the old buffer is only read (sharers keep
+  // it, caches intact) and setMat() installs a fresh cache-free buffer.
+  const std::vector<int64_t> &OldM = mat();
   std::vector<int64_t> NewM(4 * NewN * NewN, Inf);
   size_t NewDim = 2 * NewN;
   for (size_t I = 0; I < NewDim; ++I)
     NewM[I * NewDim + I] = 0;
-  size_t OldN = Vars.size();
+  size_t OldN = numVars();
   size_t OldDim2 = 2 * OldN;
   for (size_t A = 0; A < NewN; ++A) {
     if (OldIndexOfNew[A] == npos)
@@ -69,23 +71,23 @@ void Octagon::resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew) {
           size_t OldI = 2 * OldIndexOfNew[A] + SA;
           size_t OldJ = 2 * OldIndexOfNew[B] + SB;
           NewM[(2 * A + SA) * NewDim + (2 * B + SB)] =
-              M[OldI * OldDim2 + OldJ];
+              OldM[OldI * OldDim2 + OldJ];
         }
     }
   }
-  M = std::move(NewM);
+  setMat(std::move(NewM));
 }
 
 void Octagon::addVar(const std::string &Var) {
   if (varIndex(Var) != npos)
     return;
-  std::vector<std::string> NewVars = Vars;
+  std::vector<std::string> NewVars = varList();
   NewVars.insert(std::lower_bound(NewVars.begin(), NewVars.end(), Var), Var);
   std::vector<size_t> OldIdx(NewVars.size());
   for (size_t K = 0; K < NewVars.size(); ++K)
     OldIdx[K] = (NewVars[K] == Var) ? npos : varIndex(NewVars[K]);
   resizeFor(NewVars.size(), OldIdx);
-  Vars = std::move(NewVars);
+  setVars(std::move(NewVars));
   // A fresh unconstrained dimension keeps closedness.
 }
 
@@ -99,52 +101,98 @@ void Octagon::forgetAndRemove(const std::string &Var) {
     return;
   std::vector<std::string> NewVars;
   std::vector<size_t> OldIdx;
-  for (size_t K = 0; K < Vars.size(); ++K) {
+  for (size_t K = 0; K < numVars(); ++K) {
     if (K == Idx)
       continue;
-    NewVars.push_back(Vars[K]);
+    NewVars.push_back(varList()[K]);
     OldIdx.push_back(K);
   }
   resizeFor(NewVars.size(), OldIdx);
-  Vars = std::move(NewVars);
+  setVars(std::move(NewVars));
+}
+
+void Octagon::forgetInPlace(size_t Idx) {
+  assert(Idx < numVars() && "forget index out of range");
+  // Propagate Idx's constraints before dropping them (precision), exactly
+  // as forgetAndRemove does.
+  close();
+  if (Bottom)
+    return;
+  invalidateDerived();
+  size_t Dim = 2 * numVars();
+  std::vector<int64_t> &MM = matMut();
+  for (int S = 0; S < 2; ++S) {
+    size_t I = 2 * Idx + S;
+    for (size_t J = 0; J < Dim; ++J) {
+      MM[I * Dim + J] = Inf;
+      MM[J * Dim + I] = Inf;
+    }
+    MM[I * Dim + I] = 0;
+  }
+  // Removing constraints from a closed matrix cannot break the closure
+  // axioms (every bound on the right of them only grows), so Closed holds.
 }
 
 void Octagon::restrictTo(const std::vector<std::string> &Keep) {
+  std::vector<std::string> NewVars;
+  std::vector<size_t> OldIdx;
+  for (size_t K = 0; K < numVars(); ++K) {
+    if (std::find(Keep.begin(), Keep.end(), varList()[K]) == Keep.end())
+      continue;
+    NewVars.push_back(varList()[K]);
+    OldIdx.push_back(K);
+  }
+  if (NewVars.size() == numVars())
+    return; // nothing dropped: projection is the identity
+  // Precision requires propagating the dropped variables' constraints first.
+  // close() never reindexes, so the kept-index map stays valid unless the
+  // value collapses to ⊥ (in which case there is nothing left to project).
   close();
+  if (Bottom)
+    return;
+  resizeFor(NewVars.size(), OldIdx);
+  setVars(std::move(NewVars));
+}
+
+void Octagon::projectRawTo(const std::vector<std::string> &Keep) {
   if (Bottom)
     return;
   std::vector<std::string> NewVars;
   std::vector<size_t> OldIdx;
-  for (size_t K = 0; K < Vars.size(); ++K) {
-    if (std::find(Keep.begin(), Keep.end(), Vars[K]) == Keep.end())
+  for (size_t K = 0; K < numVars(); ++K) {
+    if (std::find(Keep.begin(), Keep.end(), varList()[K]) == Keep.end())
       continue;
-    NewVars.push_back(Vars[K]);
+    NewVars.push_back(varList()[K]);
     OldIdx.push_back(K);
   }
+  if (NewVars.size() == numVars())
+    return;
   resizeFor(NewVars.size(), OldIdx);
-  Vars = std::move(NewVars);
+  setVars(std::move(NewVars));
 }
 
 void Octagon::rename(const std::string &From, const std::string &To) {
   size_t FromIdx = varIndex(From);
   assert(FromIdx != npos && "rename source must exist");
   assert(varIndex(To) == npos && "rename target must be absent");
-  std::vector<std::string> NewVars = Vars;
+  std::vector<std::string> NewVars = varList();
   NewVars[FromIdx] = To;
   std::sort(NewVars.begin(), NewVars.end());
   std::vector<size_t> OldIdx(NewVars.size());
   for (size_t K = 0; K < NewVars.size(); ++K)
     OldIdx[K] = (NewVars[K] == To) ? FromIdx : varIndex(NewVars[K]);
   resizeFor(NewVars.size(), OldIdx);
-  Vars = std::move(NewVars);
+  setVars(std::move(NewVars));
 }
 
 void Octagon::addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
                             int64_t C) {
-  assert(XIdx < Vars.size() && "constraint variable out of range");
-  size_t Dim = 2 * Vars.size();
+  assert(XIdx < numVars() && "constraint variable out of range");
+  invalidateDerived();
+  size_t Dim = 2 * numVars();
+  std::vector<int64_t> &MM = matMut();
   auto tighten = [&](size_t I, size_t J, int64_t Bound) {
-    int64_t &Slot = M[I * Dim + J];
+    int64_t &Slot = MM[I * Dim + J];
     if (Bound < Slot)
       Slot = Bound;
   };
@@ -162,7 +210,7 @@ void Octagon::addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
     Closed = false;
     return;
   }
-  assert(YIdx < Vars.size() && "constraint variable out of range");
+  assert(YIdx < numVars() && "constraint variable out of range");
   assert(XIdx != YIdx && "binary constraints need distinct variables");
   // (±x) + (±y) ≤ C  ⟺  V_a − V_b ≤ C with V_a = ±x and V_b = ∓y.
   size_t A = 2 * XIdx + (PosX ? 0 : 1);
@@ -172,45 +220,178 @@ void Octagon::addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
   Closed = false;
 }
 
+void Octagon::elementwiseMax(const Octagon &O) {
+  assert(varList() == O.varList() && "elementwiseMax requires equal vars");
+  invalidateDerived();
+  size_t Dim = 2 * numVars();
+  std::vector<int64_t> &MM = matMut();
+  const std::vector<int64_t> &Theirs = O.mat();
+  for (size_t I = 0; I < Dim * Dim; ++I)
+    if (Theirs[I] > MM[I])
+      MM[I] = Theirs[I];
+}
+
+void Octagon::widenWith(const Octagon &O) {
+  assert(varList() == O.varList() && "widenWith requires equal vars");
+  invalidateDerived();
+  size_t Dim = 2 * numVars();
+  std::vector<int64_t> &MM = matMut();
+  const std::vector<int64_t> &Theirs = O.mat();
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0; J < Dim; ++J) {
+      int64_t &Slot = MM[I * Dim + J];
+      if (I == J)
+        Slot = 0;
+      else if (Theirs[I * Dim + J] > Slot)
+        Slot = Inf;
+    }
+  Closed = false;
+}
+
+bool Octagon::strengthenAndCheckEmpty(uint64_t &CellsTouched) {
+  size_t Dim = 2 * numVars();
+  std::vector<int64_t> &MM = matMut();
+  // Strengthening: combine the two unary constraints through i and j̄.
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0; J < Dim; ++J) {
+      int64_t Cand = bAdd(floorDiv2(MM[I * Dim + (I ^ 1)]),
+                          floorDiv2(MM[(J ^ 1) * Dim + J]));
+      int64_t &Slot = MM[I * Dim + J];
+      if (Cand < Slot) {
+        Slot = Cand;
+        ++CellsTouched;
+      }
+    }
+  // Emptiness: a negative self-loop.
+  for (size_t I = 0; I < Dim; ++I) {
+    if (MM[I * Dim + I] < 0) {
+      *this = bottomValue();
+      return false;
+    }
+    MM[I * Dim + I] = 0;
+  }
+  return true;
+}
+
 void Octagon::close() {
-  if (Bottom || Closed)
+  if (Bottom)
     return;
-  size_t Dim = 2 * Vars.size();
+  if (Closed) {
+    ++closureCounters().ClosesSkipped;
+    return;
+  }
+  if (MPtr && MPtr->ClosedCache) {
+    // Another consumer already closed this matrix: adopt its result.
+    std::shared_ptr<const Octagon> Cache = MPtr->ClosedCache; // keep alive
+    ++closureCounters().CachedCloses;
+    *this = *Cache;
+    return;
+  }
+  size_t Dim = 2 * numVars();
   if (Dim == 0) {
     Closed = true;
     return;
   }
+  ++closureCounters().FullCloses;
+  uint64_t Touched = 0;
+  std::vector<int64_t> &MM = matMut();
   // Floyd–Warshall shortest paths.
   for (size_t K = 0; K < Dim; ++K)
     for (size_t I = 0; I < Dim; ++I) {
-      int64_t IK = M[I * Dim + K];
+      int64_t IK = MM[I * Dim + K];
       if (IK == Inf)
         continue;
       for (size_t J = 0; J < Dim; ++J) {
-        int64_t Cand = bAdd(IK, M[K * Dim + J]);
-        int64_t &Slot = M[I * Dim + J];
-        if (Cand < Slot)
+        int64_t Cand = bAdd(IK, MM[K * Dim + J]);
+        int64_t &Slot = MM[I * Dim + J];
+        if (Cand < Slot) {
           Slot = Cand;
+          ++Touched;
+        }
       }
     }
-  // Strengthening: combine the two unary constraints through i and j̄.
-  for (size_t I = 0; I < Dim; ++I)
-    for (size_t J = 0; J < Dim; ++J) {
-      int64_t Cand =
-          bAdd(floorDiv2(M[I * Dim + (I ^ 1)]), floorDiv2(M[(J ^ 1) * Dim + J]));
-      int64_t &Slot = M[I * Dim + J];
-      if (Cand < Slot)
-        Slot = Cand;
-    }
-  // Emptiness: a negative self-loop.
-  for (size_t I = 0; I < Dim; ++I) {
-    if (M[I * Dim + I] < 0) {
-      *this = bottomValue();
-      return;
-    }
-    M[I * Dim + I] = 0;
-  }
+  bool NonEmpty = strengthenAndCheckEmpty(Touched);
+  closureCounters().CellsTouched += Touched;
+  if (!NonEmpty)
+    return;
   Closed = true;
+}
+
+void Octagon::closeIncremental(size_t XIdx, size_t YIdx) {
+  if (Bottom)
+    return;
+  if (Closed) {
+    // addConstraint always clears the flag, so this only happens when a
+    // caller re-closes defensively; count it with the other skips.
+    ++closureCounters().ClosesSkipped;
+    return;
+  }
+  size_t Dim = 2 * numVars();
+  if (Dim == 0) {
+    Closed = true;
+    return;
+  }
+  assert(XIdx < numVars() && "pivot variable out of range");
+  invalidateDerived(); // the pivot loops below write M directly
+  ++closureCounters().IncrementalCloses;
+  uint64_t Touched = 0;
+  // Every tightened edge is incident to the doubled indices of x (and y),
+  // so any path improved by the new constraints decomposes into old
+  // shortest-path segments joined at those ≤4 vertices: running the
+  // Floyd–Warshall pivot step for just these K restores exact shortest
+  // paths in O(n²) (each pivot is processed once; order is irrelevant).
+  size_t Pivots[4];
+  size_t NumPivots = 0;
+  Pivots[NumPivots++] = 2 * XIdx;
+  Pivots[NumPivots++] = 2 * XIdx + 1;
+  if (YIdx != npos) {
+    assert(YIdx < numVars() && "pivot variable out of range");
+    Pivots[NumPivots++] = 2 * YIdx;
+    Pivots[NumPivots++] = 2 * YIdx + 1;
+  }
+  std::vector<int64_t> &MM = matMut();
+  for (size_t P = 0; P < NumPivots; ++P) {
+    size_t K = Pivots[P];
+    for (size_t I = 0; I < Dim; ++I) {
+      int64_t IK = MM[I * Dim + K];
+      if (IK == Inf)
+        continue;
+      for (size_t J = 0; J < Dim; ++J) {
+        int64_t Cand = bAdd(IK, MM[K * Dim + J]);
+        int64_t &Slot = MM[I * Dim + J];
+        if (Cand < Slot) {
+          Slot = Cand;
+          ++Touched;
+        }
+      }
+    }
+  }
+  bool NonEmpty = strengthenAndCheckEmpty(Touched);
+  closureCounters().CellsTouched += Touched;
+  if (!NonEmpty)
+    return;
+  Closed = true;
+}
+
+const Octagon &Octagon::closedView() const {
+  if (Bottom || Closed)
+    return *this;
+  if (numVars() == 0) {
+    // Unclosed but zero-variable: the closure is the empty ⊤. Handled
+    // before touching MPtr — caching a copy here would let close()'s
+    // Dim==0 early-return keep sharing this buffer and form a
+    // MatBuf→Octagon→MatBuf cycle (a leak).
+    static const Octagon EmptyClosed;
+    return EmptyClosed;
+  }
+  if (!MPtr->ClosedCache) {
+    auto C = std::make_shared<Octagon>(*this); // close() un-shares C's buffer
+    C->close();
+    MPtr->ClosedCache = std::move(C);
+  } else {
+    ++closureCounters().CachedCloses;
+  }
+  return *MPtr->ClosedCache;
 }
 
 Interval Octagon::boundsOf(const std::string &Var) const {
@@ -218,9 +399,9 @@ Interval Octagon::boundsOf(const std::string &Var) const {
   size_t Idx = varIndex(Var);
   if (Idx == npos)
     return Interval::top();
-  size_t Dim = 2 * Vars.size();
-  int64_t UpperRaw = M[(2 * Idx + 1) * Dim + (2 * Idx)]; // 2x ≤ UpperRaw
-  int64_t LowerRaw = M[(2 * Idx) * Dim + (2 * Idx + 1)]; // −2x ≤ LowerRaw
+  size_t Dim = 2 * numVars();
+  int64_t UpperRaw = mat()[(2 * Idx + 1) * Dim + (2 * Idx)]; // 2x ≤ UpperRaw
+  int64_t LowerRaw = mat()[(2 * Idx) * Dim + (2 * Idx + 1)]; // −2x ≤ LowerRaw
   int64_t Hi = (UpperRaw == Inf) ? Interval::kPosInf : floorDiv2(UpperRaw);
   int64_t Lo = (LowerRaw == Inf) ? Interval::kNegInf : -floorDiv2(LowerRaw);
   return Interval::range(Lo, Hi);
@@ -228,22 +409,26 @@ Interval Octagon::boundsOf(const std::string &Var) const {
 
 bool Octagon::entailsEntrywise(const Octagon &O) const {
   // "this" must be closed; checks closed(this) ⊑ O entrywise over O's vars.
-  size_t Dim = 2 * Vars.size();
-  size_t ODim = 2 * O.Vars.size();
-  for (size_t A = 0; A < O.Vars.size(); ++A) {
-    size_t MyA = varIndex(O.Vars[A]);
-    for (size_t B = 0; B < O.Vars.size(); ++B) {
-      size_t MyB = varIndex(O.Vars[B]);
+  size_t Dim = 2 * numVars();
+  size_t ODim = 2 * O.numVars();
+  // Hoist the name→index translation out of the quadratic loop.
+  std::vector<size_t> MyIdx(O.numVars());
+  for (size_t A = 0; A < O.numVars(); ++A)
+    MyIdx[A] = varIndex(O.varList()[A]);
+  for (size_t A = 0; A < O.numVars(); ++A) {
+    size_t MyA = MyIdx[A];
+    for (size_t B = 0; B < O.numVars(); ++B) {
+      size_t MyB = MyIdx[B];
       for (int SA = 0; SA < 2; ++SA)
         for (int SB = 0; SB < 2; ++SB) {
-          int64_t Theirs = O.M[(2 * A + SA) * ODim + (2 * B + SB)];
+          int64_t Theirs = O.mat()[(2 * A + SA) * ODim + (2 * B + SB)];
           if (Theirs == Inf)
             continue;
           int64_t Mine = Inf;
           if (2 * A + SA == 2 * B + SB)
             Mine = 0;
           else if (MyA != npos && MyB != npos)
-            Mine = M[(2 * MyA + SA) * Dim + (2 * MyB + SB)];
+            Mine = mat()[(2 * MyA + SA) * Dim + (2 * MyB + SB)];
           if (Mine > Theirs)
             return false;
         }
@@ -256,10 +441,51 @@ uint64_t Octagon::hash() const {
   if (Bottom)
     return 0x0c7a60b07700ULL;
   uint64_t H = 0x8f1bbcdc12345678ULL;
-  for (const auto &V : Vars)
+  for (const auto &V : varList())
     H = hashCombine(H, hashString(V));
-  for (int64_t E : M)
+  for (int64_t E : mat())
     H = hashCombine(H, static_cast<uint64_t>(E));
+  return H;
+}
+
+uint64_t Octagon::hashNormalized() const {
+  assert((Bottom || Closed) && "hashNormalized requires a closed receiver");
+  if (Bottom)
+    return 0x0c7a60b07700ULL;
+  if (MPtr && MPtr->NormHashValid)
+    return MPtr->NormHash;
+  size_t Dim = 2 * numVars();
+  // Kept = dimensions with at least one constraint (normalize()'s
+  // predicate). A constraint between a kept and a dropped variable is
+  // impossible: it would make both of them constrained.
+  std::vector<size_t> Kept;
+  for (size_t K = 0; K < numVars(); ++K) {
+    bool Constrained = false;
+    for (size_t J = 0; J < Dim && !Constrained; ++J)
+      for (int S = 0; S < 2 && !Constrained; ++S) {
+        size_t I = 2 * K + S;
+        if (I == J)
+          continue;
+        if (mat()[I * Dim + J] != kPosInf || mat()[J * Dim + I] != kPosInf)
+          Constrained = true;
+      }
+    if (Constrained)
+      Kept.push_back(K);
+  }
+  // Identical traversal order to hash() over the restricted matrix.
+  uint64_t H = 0x8f1bbcdc12345678ULL;
+  for (size_t K : Kept)
+    H = hashCombine(H, hashString(varList()[K]));
+  for (size_t A : Kept)
+    for (int SA = 0; SA < 2; ++SA)
+      for (size_t B : Kept)
+        for (int SB = 0; SB < 2; ++SB)
+          H = hashCombine(H, static_cast<uint64_t>(
+                                 mat()[(2 * A + SA) * Dim + (2 * B + SB)]));
+  if (MPtr) {
+    MPtr->NormHash = H;
+    MPtr->NormHashValid = true;
+  }
   return H;
 }
 
@@ -269,31 +495,31 @@ std::string Octagon::toString() const {
   std::ostringstream OS;
   OS << "{";
   bool First = true;
-  size_t Dim = 2 * Vars.size();
+  size_t Dim = 2 * numVars();
   auto emit = [&](const std::string &Text) {
     if (!First)
       OS << ", ";
     First = false;
     OS << Text;
   };
-  for (size_t I = 0; I < Vars.size(); ++I) {
-    Interval B = boundsOf(Vars[I]);
+  for (size_t I = 0; I < numVars(); ++I) {
+    Interval B = boundsOf(varList()[I]);
     if (!B.isTop())
-      emit(Vars[I] + " in " + B.toString());
-    for (size_t J = I + 1; J < Vars.size(); ++J) {
+      emit(varList()[I] + " in " + B.toString());
+    for (size_t J = I + 1; J < numVars(); ++J) {
       // x_J − x_I ≤ c and x_I + x_J ≤ c forms, both signs.
-      int64_t Diff = M[(2 * I) * Dim + (2 * J)];
+      int64_t Diff = mat()[(2 * I) * Dim + (2 * J)];
       if (Diff != Inf)
-        emit(Vars[J] + " - " + Vars[I] + " <= " + std::to_string(Diff));
-      int64_t RevDiff = M[(2 * J) * Dim + (2 * I)];
+        emit(varList()[J] + " - " + varList()[I] + " <= " + std::to_string(Diff));
+      int64_t RevDiff = mat()[(2 * J) * Dim + (2 * I)];
       if (RevDiff != Inf)
-        emit(Vars[I] + " - " + Vars[J] + " <= " + std::to_string(RevDiff));
-      int64_t Sum = M[(2 * I + 1) * Dim + (2 * J)];
+        emit(varList()[I] + " - " + varList()[J] + " <= " + std::to_string(RevDiff));
+      int64_t Sum = mat()[(2 * I + 1) * Dim + (2 * J)];
       if (Sum != Inf)
-        emit(Vars[I] + " + " + Vars[J] + " <= " + std::to_string(Sum));
-      int64_t NegSum = M[(2 * I) * Dim + (2 * J + 1)];
+        emit(varList()[I] + " + " + varList()[J] + " <= " + std::to_string(Sum));
+      int64_t NegSum = mat()[(2 * I) * Dim + (2 * J + 1)];
       if (NegSum != Inf)
-        emit("-" + Vars[I] + " - " + Vars[J] + " <= " + std::to_string(NegSum));
+        emit("-" + varList()[I] + " - " + varList()[J] + " <= " + std::to_string(NegSum));
     }
   }
   OS << "}";
@@ -427,14 +653,22 @@ void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
   LinForm F = linearize(E);
   bool Octagonal = F.Ok && F.Coeffs.size() <= 1 &&
                    (F.Coeffs.empty() || std::abs(F.Coeffs.begin()->second) == 1);
+  auto havocOrAdd = [&O](const std::string &V) {
+    size_t Idx = O.varIndex(V);
+    if (Idx == npos) {
+      O.addVar(V);
+      return O.varIndex(V);
+    }
+    O.forgetInPlace(Idx); // in place: no dimension resize
+    return Idx;
+  };
   if (Octagonal && F.Coeffs.empty()) {
-    // x := c.
-    O.forgetAndRemove(X);
-    O.addVar(X);
-    size_t XI = O.varIndex(X);
+    // x := c. havoc/addVar keep the value closed, so the two unary
+    // constraints on x re-close incrementally.
+    size_t XI = havocOrAdd(X);
     O.addConstraint(XI, /*PosX=*/true, npos, true, F.Const);
     O.addConstraint(XI, /*PosX=*/false, npos, true, -F.Const);
-    O.close();
+    O.closeIncremental(XI);
     return;
   }
   if (Octagonal) {
@@ -443,13 +677,11 @@ void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
     if (Y != X) {
       if (O.varIndex(Y) == npos)
         O.addVar(Y);
-      O.forgetAndRemove(X);
-      O.addVar(X);
-      size_t XI = O.varIndex(X), YI = O.varIndex(Y);
+      size_t XI = havocOrAdd(X), YI = O.varIndex(Y);
       // x − (±y) ≤ c and −x + (±y) ≤ −c.
       O.addConstraint(XI, true, YI, !PosY, F.Const);
       O.addConstraint(XI, false, YI, PosY, -F.Const);
-      O.close();
+      O.closeIncremental(XI, YI);
       return;
     }
     // x := ±x + c via a temporary dimension.
@@ -459,22 +691,22 @@ void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
     size_t TI = O.varIndex(Tmp), XI = O.varIndex(X);
     O.addConstraint(TI, true, XI, !PosY, F.Const);
     O.addConstraint(TI, false, XI, PosY, -F.Const);
-    O.close();
+    O.closeIncremental(TI, XI);
     O.forgetAndRemove(X);
     O.rename(Tmp, X);
     return;
   }
   // Interval fallback: bound x by the interval of e.
   Interval I = IntervalDomain::eval(E, toIntervalState(O)).Num;
-  O.forgetAndRemove(X);
   if (!I.isTop() && !I.isEmpty()) {
-    O.addVar(X);
-    size_t XI = O.varIndex(X);
+    size_t XI = havocOrAdd(X);
     if (I.hi() != Interval::kPosInf)
       O.addConstraint(XI, true, npos, true, I.hi());
     if (I.lo() != Interval::kNegInf)
       O.addConstraint(XI, false, npos, true, -I.lo());
-    O.close();
+    O.closeIncremental(XI);
+  } else {
+    O.forgetAndRemove(X); // unconstrained: drop the dimension entirely
   }
 }
 
@@ -497,15 +729,19 @@ bool addLinearLeqZero(Octagon &O, const LinForm &F) {
     if (O.varIndex(V) == npos)
       O.addVar(V);
   }
+  // O is closed on entry (assume() closes its input; addVar preserves
+  // closure), so one incremental re-closure suffices.
   auto It = F.Coeffs.begin();
   if (F.Coeffs.size() == 1) {
-    O.addConstraint(O.varIndex(It->first), It->second > 0, npos, true, Bound);
+    size_t XI = O.varIndex(It->first);
+    O.addConstraint(XI, It->second > 0, npos, true, Bound);
+    O.closeIncremental(XI);
   } else {
     auto It2 = std::next(It);
-    O.addConstraint(O.varIndex(It->first), It->second > 0,
-                    O.varIndex(It2->first), It2->second > 0, Bound);
+    size_t XI = O.varIndex(It->first), YI = O.varIndex(It2->first);
+    O.addConstraint(XI, It->second > 0, YI, It2->second > 0, Bound);
+    O.closeIncremental(XI, YI);
   }
-  O.close();
   return true;
 }
 
@@ -516,9 +752,7 @@ bool OctagonDomain::isBottom(const Elem &A) {
     return true;
   if (A.isClosed())
     return false;
-  Octagon C = A;
-  C.close();
-  return C.isBottom();
+  return A.closedView().isBottom();
 }
 
 Octagon OctagonDomain::initialEntry(const std::vector<std::string> &) {
@@ -546,8 +780,7 @@ Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
       return join(assume(In, Cond->Lhs), assume(In, Cond->Rhs));
     if (!isComparison(Cond->BOp))
       return In;
-    Octagon Out = In;
-    Out.close();
+    Octagon Out = In.closedView();
     if (Out.isBottom())
       return Out;
     // Null comparisons carry no octagonal content.
@@ -591,16 +824,27 @@ Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
     IntervalState Refined = IntervalDomain::assume(Proj, Cond);
     if (Refined.Bottom)
       return bottom();
+    // Import refined unary bounds variable-by-variable, re-closing
+    // incrementally after each so every batch sees a closed receiver.
     for (const auto &[Var, V] : Refined.Env) {
       if (Out.varIndex(Var) == npos)
         continue;
       size_t Idx = Out.varIndex(Var);
-      if (V.Num.hi() != Interval::kPosInf)
+      bool Tightened = false;
+      if (V.Num.hi() != Interval::kPosInf) {
         Out.addConstraint(Idx, true, npos, true, V.Num.hi());
-      if (V.Num.lo() != Interval::kNegInf)
+        Tightened = true;
+      }
+      if (V.Num.lo() != Interval::kNegInf) {
         Out.addConstraint(Idx, false, npos, true, -V.Num.lo());
+        Tightened = true;
+      }
+      if (Tightened) {
+        Out.closeIncremental(Idx);
+        if (Out.isBottom())
+          return Out;
+      }
     }
-    Out.close();
     return Out;
   }
   default:
@@ -611,8 +855,7 @@ Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
 Octagon OctagonDomain::transfer(const Stmt &S, const Elem &In) {
   if (In.Bottom)
     return In;
-  Octagon Out = In;
-  Out.close();
+  Octagon Out = In.closedView();
   if (Out.isBottom())
     return Out;
   switch (S.Kind) {
@@ -640,28 +883,31 @@ Octagon OctagonDomain::transfer(const Stmt &S, const Elem &In) {
 }
 
 Octagon OctagonDomain::join(const Elem &A, const Elem &B) {
-  if (isBottom(A))
-    return B;
-  if (isBottom(B))
-    return A;
-  Octagon CA = A, CB = B;
-  CA.close();
-  CB.close();
+  // Close each input exactly once (the old path closed twice: once inside
+  // the isBottom probe and again on the local copy).
+  Octagon CA = A.closedView();
   if (CA.isBottom())
-    return CB;
+    return B;
+  const Octagon &CB = B.closedView();
   if (CB.isBottom())
     return CA;
+  // Fast path: identical variable sets (the steady state under normalize)
+  // need no projection and can tighten CA in place against CB directly.
+  if (CA.vars() == CB.vars()) {
+    CA.elementwiseMax(CB);
+    CA.Closed = true; // elementwise max of two closed DBMs remains closed
+    normalize(CA);
+    return CA;
+  }
   // Join over the common variable set (absent = unconstrained).
   std::vector<std::string> Common;
   for (const auto &V : CA.vars())
     if (CB.varIndex(V) != npos)
       Common.push_back(V);
   CA.restrictTo(Common);
-  CB.restrictTo(Common);
-  size_t Dim = 2 * Common.size();
-  for (size_t I = 0; I < Dim; ++I)
-    for (size_t J = 0; J < Dim; ++J)
-      CA.set(I, J, std::max(CA.at(I, J), CB.at(I, J)));
+  Octagon CBR = CB;
+  CBR.restrictTo(Common);
+  CA.elementwiseMax(CBR);
   // Elementwise max of two closed DBMs remains closed.
   CA.Closed = true;
   normalize(CA);
@@ -671,59 +917,32 @@ Octagon OctagonDomain::join(const Elem &A, const Elem &B) {
 Octagon OctagonDomain::widen(const Elem &Prev, const Elem &Next) {
   if (Prev.Bottom)
     return Next;
-  if (isBottom(Next))
-    return Prev;
-  Octagon NC = Next;
-  NC.close();
+  Octagon NC = Next.closedView();
   if (NC.isBottom())
     return Prev;
   // The previous iterate must stay UNCLOSED on the left of ∇ for
-  // convergence; we use its stored (possibly raw) matrix as-is.
+  // convergence; projectRawTo drops dimensions without closing (dropping
+  // is sound for widening).
   Octagon P = Prev;
   std::vector<std::string> Common;
   for (const auto &V : P.vars())
     if (NC.varIndex(V) != npos)
       Common.push_back(V);
-  // Drop dimensions without closing (dropping is sound for widening).
-  {
-    std::vector<std::string> NewVars;
-    std::vector<size_t> OldIdx;
-    for (const auto &V : Common) {
-      NewVars.push_back(V);
-      OldIdx.push_back(P.varIndex(V));
-    }
-    // Rebuild via restrictTo semantics but on the raw matrix: emulate by
-    // manual reindex through a temporary closed-flag preservation.
-    Octagon Raw = P;
-    bool WasClosed = Raw.Closed;
-    Raw.Closed = true; // suppress closing inside restrictTo
-    Raw.restrictTo(NewVars);
-    Raw.Closed = false;
-    (void)WasClosed;
-    P = Raw;
-  }
+  P.projectRawTo(Common);
   NC.restrictTo(Common);
-  size_t Dim = 2 * Common.size();
-  for (size_t I = 0; I < Dim; ++I)
-    for (size_t J = 0; J < Dim; ++J) {
-      if (NC.at(I, J) > P.at(I, J))
-        P.set(I, J, Inf);
-      if (I == J)
-        P.set(I, J, 0);
-    }
-  P.Closed = false;
+  P.widenWith(NC);
   return P;
 }
 
 bool OctagonDomain::leq(const Elem &A, const Elem &B) {
-  if (isBottom(A))
+  // Close A exactly once, copying only when it is an (unclosed) widening
+  // iterate; the old path copied and closed once for the ⊥ probe and a
+  // second time for the entailment check.
+  const Octagon &CA = A.closedView();
+  if (CA.isBottom())
     return true;
   if (isBottom(B))
     return false;
-  Octagon CA = A;
-  CA.close();
-  if (CA.isBottom())
-    return true;
   return CA.entailsEntrywise(B);
 }
 
@@ -732,15 +951,14 @@ bool OctagonDomain::equal(const Elem &A, const Elem &B) {
 }
 
 uint64_t OctagonDomain::hash(const Elem &A) {
-  Octagon N = A;
-  normalize(N);
-  return N.hash();
+  // Equivalent to normalize-then-hash, but without copying the matrix:
+  // closedView() shares the cached closure and hashNormalized() skips
+  // unconstrained dimensions in place.
+  return A.closedView().hashNormalized();
 }
 
 std::string OctagonDomain::toString(const Elem &A) {
-  Octagon N = A;
-  N.close();
-  return N.toString();
+  return A.closedView().toString();
 }
 
 Octagon OctagonDomain::enterCall(const Elem &Caller, const Stmt &CallSite,
@@ -751,8 +969,7 @@ Octagon OctagonDomain::enterCall(const Elem &Caller, const Stmt &CallSite,
   // Bind temporaries to the actuals inside the caller state, project onto
   // them, then rename to the formals — this preserves relations *among*
   // parameters (e.g. f(i, i+1) enters with p1 − p0 = 1).
-  Octagon Tmp = Caller;
-  Tmp.close();
+  Octagon Tmp = Caller.closedView();
   if (Tmp.isBottom())
     return bottom();
   std::vector<std::string> TmpNames;
@@ -777,10 +994,8 @@ Octagon OctagonDomain::exitCall(const Elem &Caller, const Elem &CalleeExit,
   if (isBottom(CalleeExit))
     return bottom(); // The call never returns.
   assert(CallSite.Kind == StmtKind::Call && "exitCall requires a call site");
-  Octagon Out = Caller;
-  Out.close();
-  Octagon CE = CalleeExit;
-  CE.close();
+  Octagon Out = Caller.closedView();
+  const Octagon &CE = CalleeExit.closedView();
   // Import the return value's interval (relations between callee locals and
   // caller locals are not representable without a combined frame).
   Interval Ret = CE.boundsOf(RetVar);
@@ -792,7 +1007,7 @@ Octagon OctagonDomain::exitCall(const Elem &Caller, const Elem &CalleeExit,
       Out.addConstraint(Idx, true, npos, true, Ret.hi());
     if (Ret.lo() != Interval::kNegInf)
       Out.addConstraint(Idx, false, npos, true, -Ret.lo());
-    Out.close();
+    Out.closeIncremental(Idx);
   }
   normalize(Out);
   return Out;

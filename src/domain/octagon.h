@@ -18,9 +18,36 @@
 ///    V_{2k+1} = −v_k; kPosInf encodes +∞.
 ///  - The variable set is dynamic: join/widen/leq unify to the common
 ///    variable set (absent variables are unconstrained).
-///  - Values are kept strongly closed except widening results, which must
-///    stay unclosed to guarantee convergence (the classic octagon widening
-///    caveat); closure is re-established lazily by consumers.
+///
+/// Closure discipline (who closes, who may observe unclosed values):
+///  - Strong closure (Floyd–Warshall path closure + unary strengthening +
+///    emptiness check) is the canonical form; `Closed` tracks whether the
+///    matrix is in it. All OctagonDomain operations RETURN closed values,
+///    with one deliberate exception: `widen` results must stay unclosed to
+///    guarantee convergence (the classic octagon widening caveat), so the
+///    only unclosed values flowing through an analysis are widening iterates.
+///  - `addConstraint` clears `Closed` and performs no propagation itself.
+///    A caller that held a *closed* value re-establishes closure in O(n²)
+///    with `closeIncremental(x, y)` — sound because every DBM edge the
+///    constraint tightened is incident to the doubled indices of x (and y),
+///    so pivoting Floyd–Warshall on just those ≤4 indices restores exact
+///    shortest paths (Miné 2006, §4.3). Full O(n³) `close()` is reserved
+///    for values of unknown provenance: widening iterates entering
+///    transfer/join/leq, and batches of constraints over many variables.
+///  - Structural edits preserve closure: `addVar` adds an unconstrained
+///    (hence neutral) dimension, and `restrictTo`/`forgetAndRemove` close
+///    first and then drop rows/columns of a closed matrix. `projectRawTo`
+///    is the widening-only escape hatch that drops dimensions WITHOUT
+///    closing (closing the previous iterate would defeat convergence).
+///  - Readers that need tight entries (`boundsOf`, `entailsEntrywise` on
+///    the left argument, `normalize`, `toString`) require a closed receiver;
+///    `isClosed()` is the cheap query, and `close()` on an already-closed
+///    value is a counted no-op (see ClosureCounters in support/statistics.h).
+///  - An unclosed value caches its closed form on first demand
+///    (`closedView`): a widening iterate is typically consumed by several
+///    readers (convergence check, hash, every successor transfer), and the
+///    cache — shared across copies, invalidated by any mutation — collapses
+///    those repeated O(n³) closures into one. Single-threaded by design.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +58,7 @@
 #include "domain/interval.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,10 +80,10 @@ public:
   }
 
   bool isBottom() const { return Bottom; }
-  const std::vector<std::string> &vars() const { return Vars; }
+  const std::vector<std::string> &vars() const { return varList(); }
 
   /// Number of tracked variables.
-  size_t numVars() const { return Vars.size(); }
+  size_t numVars() const { return varList().size(); }
 
   /// Index of \p Var in Vars, or npos.
   size_t varIndex(const std::string &Var) const;
@@ -66,26 +94,69 @@ public:
   /// Removes every constraint involving \p Var and drops its dimension.
   void forgetAndRemove(const std::string &Var);
 
-  /// Projects onto \p Keep (every other dimension is dropped). Requires a
-  /// closed receiver for precision; callers should close() first.
+  /// Removes every constraint involving dimension \p Idx IN PLACE (the
+  /// dimension stays, unconstrained) — the cheap form of forget-then-re-add
+  /// used by assignments. Closes first for precision; clearing the rows and
+  /// columns of a closed matrix preserves closure, so no re-closure is
+  /// needed afterwards.
+  void forgetInPlace(size_t Idx);
+
+  /// Projects onto \p Keep (every other dimension is dropped), closing
+  /// first for precision. No-op when nothing would be dropped.
   void restrictTo(const std::vector<std::string> &Keep);
+
+  /// Projects onto \p Keep WITHOUT closing first (sound only where
+  /// imprecision is acceptable — widening, which must not close its left
+  /// argument). Preserves the Closed flag as-is.
+  void projectRawTo(const std::vector<std::string> &Keep);
 
   /// Renames variable \p From to \p To (To must be absent).
   void rename(const std::string &From, const std::string &To);
 
   /// Raw matrix access; I, J < 2*numVars().
-  int64_t at(size_t I, size_t J) const { return M[I * 2 * Vars.size() + J]; }
-  void set(size_t I, size_t J, int64_t V) { M[I * 2 * Vars.size() + J] = V; }
+  int64_t at(size_t I, size_t J) const { return mat()[I * 2 * numVars() + J]; }
+  void set(size_t I, size_t J, int64_t V) {
+    invalidateDerived();
+    matMut()[I * 2 * numVars() + J] = V;
+  }
 
   /// Tightens with constraint  ±x ± y ≤ C  (PosX: +x else −x; likewise
   /// PosY). Pass YIdx == npos for the unary constraint ±x ≤ C.
   void addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
                      int64_t C);
 
+  /// this[i][j] := max(this[i][j], O[i][j]) over identical variable sets —
+  /// the join kernel. One copy-on-write un-share for the whole sweep
+  /// (per-cell set() would pay it (2n)² times). Leaves Closed untouched;
+  /// the caller asserts closedness of the result (max of closed is closed).
+  void elementwiseMax(const Octagon &O);
+
+  /// Classic octagon widening kernel over identical variable sets: entries
+  /// where \p O exceeds this go to +∞, the diagonal is pinned to 0, and the
+  /// result is marked unclosed.
+  void widenWith(const Octagon &O);
+
   /// Strong closure (Floyd–Warshall + unary strengthening); detects
-  /// emptiness and collapses to ⊥. Idempotent.
+  /// emptiness and collapses to ⊥. Idempotent. O(n³).
   void close();
+
+  /// Incremental strong closure after addConstraint on a value that was
+  /// strongly closed beforehand: restores closure in O(n²) by pivoting
+  /// only on the doubled indices of \p XIdx (and \p YIdx when not npos —
+  /// pass the same variable indices that were passed to addConstraint).
+  /// Produces a matrix entrywise-identical to full close(), including ⊥
+  /// detection. Precondition: the receiver was closed before the
+  /// constraint(s) on {XIdx, YIdx} were added.
+  void closeIncremental(size_t XIdx, size_t YIdx = static_cast<size_t>(-1));
+
   bool isClosed() const { return Closed; }
+
+  /// Read-only access to the strongly closed form of this value: returns
+  /// *this when already closed (or ⊥), otherwise a closure computed at most
+  /// once and cached — copies of this value share the cache, so a widening
+  /// iterate consumed by many readers is fully closed only once. The
+  /// returned reference is invalidated by any mutation of this value.
+  const Octagon &closedView() const;
 
   /// Interval of variable \p Var implied by this octagon (requires closed).
   Interval boundsOf(const std::string &Var) const;
@@ -93,16 +164,87 @@ public:
   /// Structural helpers used by the domain policy.
   bool entailsEntrywise(const Octagon &O) const;
   uint64_t hash() const;
+
+  /// Hash of the normalized form (unconstrained dimensions ignored) without
+  /// materializing the restriction — equals hash() of the normalize()d
+  /// value. Requires a closed (or ⊥) receiver.
+  uint64_t hashNormalized() const;
+
   std::string toString() const;
 
   bool Bottom = false;
   bool Closed = true; ///< The empty DBM is trivially closed.
 
 private:
-  std::vector<std::string> Vars; ///< Sorted.
-  std::vector<int64_t> M;        ///< (2n)² row-major.
+  /// Sorted variable list, shared copy-on-write: copying an Octagon (every
+  /// transfer does) must not reallocate n strings. Null encodes the empty
+  /// list; all mutations go through setVars().
+  std::shared_ptr<const std::vector<std::string>> VarsPtr;
+
+  /// The shared matrix buffer: the (2n)² row-major DBM plus everything
+  /// derived from it (cached closure, cached normalized hash). Octagon
+  /// values are copied far more often than they are mutated (DAIG cell
+  /// reads, memo stores, closed views), so the buffer is copy-on-write —
+  /// and because the derived caches live INSIDE the shared buffer, the
+  /// first consumer to close or hash any copy fills the cache for every
+  /// other sharer, including the persistent cell value it was copied from.
+  struct MatBuf {
+    std::vector<int64_t> M;
+    /// Closed form of M (see closedView()); itself closed, so its own
+    /// buffer carries no further cache (no recursion).
+    std::shared_ptr<const Octagon> ClosedCache;
+    uint64_t NormHash = 0; ///< Cached hashNormalized() of a closed M.
+    bool NormHashValid = false;
+  };
+  /// Null encodes the empty (zero-variable) matrix.
+  std::shared_ptr<MatBuf> MPtr;
+
+  const std::vector<std::string> &varList() const {
+    static const std::vector<std::string> Empty;
+    return VarsPtr ? *VarsPtr : Empty;
+  }
+  void setVars(std::vector<std::string> V) {
+    VarsPtr = std::make_shared<const std::vector<std::string>>(std::move(V));
+  }
+
+  const std::vector<int64_t> &mat() const {
+    static const std::vector<int64_t> Empty;
+    return MPtr ? MPtr->M : Empty;
+  }
+  /// Mutable buffer access with copy-on-write: clones the matrix iff the
+  /// buffer is shared with another value; the clone starts with empty
+  /// caches, and the sharers keep theirs.
+  MatBuf &bufMut() {
+    if (!MPtr) {
+      MPtr = std::make_shared<MatBuf>();
+    } else if (MPtr.use_count() > 1) {
+      auto Fresh = std::make_shared<MatBuf>();
+      Fresh->M = MPtr->M;
+      MPtr = std::move(Fresh);
+    }
+    return *MPtr;
+  }
+  std::vector<int64_t> &matMut() { return bufMut().M; }
+  void setMat(std::vector<int64_t> V) {
+    MPtr = std::make_shared<MatBuf>();
+    MPtr->M = std::move(V);
+  }
+
+  /// Prepares this value's buffer for mutation: un-shares it and drops the
+  /// caches derived from the old matrix contents.
+  void invalidateDerived() {
+    if (!MPtr)
+      return;
+    MatBuf &B = bufMut();
+    B.ClosedCache.reset();
+    B.NormHashValid = false;
+  }
 
   void resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew);
+
+  /// Unary strengthening + emptiness check shared by close() and
+  /// closeIncremental(). Returns false when the octagon collapsed to ⊥.
+  bool strengthenAndCheckEmpty(uint64_t &CellsTouched);
 };
 
 /// The octagon abstract domain policy (satisfies AbstractDomain).

@@ -68,6 +68,7 @@ public:
   /// \p K is the call-string depth (0 = context-insensitive).
   InterprocEngine(Program Prog, std::string MainName, unsigned K = 0)
       : Prog(std::move(Prog)), MainName(std::move(MainName)), K(K) {
+    Memo.attachStatistics(&Stats);
     CG = buildCallGraph(this->Prog);
     if (CG.valid() && !this->Prog.find(this->MainName))
       CG.Error = "no function named '" + this->MainName + "'";

@@ -33,6 +33,7 @@ struct Statistics {
   uint64_t MemoMisses = 0;    ///< Q-Miss events (computed and memoized).
   uint64_t CellsDirtied = 0;  ///< Reference cells emptied by edits.
   uint64_t CallSummaries = 0; ///< Interprocedural callee-summary demands.
+  uint64_t MemoEvictions = 0; ///< Memo-table entries dropped by the LRU cap.
 
   void reset() { *this = Statistics(); }
 
@@ -51,6 +52,7 @@ struct Statistics {
     R.MemoMisses = MemoMisses - O.MemoMisses;
     R.CellsDirtied = CellsDirtied - O.CellsDirtied;
     R.CallSummaries = CallSummaries - O.CallSummaries;
+    R.MemoEvictions = MemoEvictions - O.MemoEvictions;
     return R;
   }
 };
@@ -60,8 +62,52 @@ inline std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << " widens=" << S.Widens << " unrollings=" << S.Unrollings
      << " cellReuses=" << S.CellReuses << " memoHits=" << S.MemoHits
      << " memoMisses=" << S.MemoMisses << " dirtied=" << S.CellsDirtied
-     << " callSummaries=" << S.CallSummaries << "}";
+     << " callSummaries=" << S.CallSummaries
+     << " memoEvictions=" << S.MemoEvictions << "}";
   return OS;
+}
+
+/// Counters for DBM strong-closure work in relational domains (octagon).
+/// Closure is the dominant cost of the Fig. 10 workload, so benches report
+/// these alongside wall time to explain *why* latency moved: a healthy
+/// incremental pipeline shows IncrementalCloses ≫ FullCloses.
+///
+/// Kept process-global (per thread) rather than inside Statistics because
+/// domain values are plain data with no back-pointer to an engine; benches
+/// snapshot-and-subtract around the region of interest.
+struct ClosureCounters {
+  uint64_t FullCloses = 0;        ///< O(n³) Floyd–Warshall closures run.
+  uint64_t IncrementalCloses = 0; ///< O(n²) single-constraint re-closures.
+  uint64_t ClosesSkipped = 0;     ///< close() calls on already-closed values.
+  uint64_t CachedCloses = 0;      ///< Closures answered by a closedView cache.
+  uint64_t CellsTouched = 0;      ///< DBM entries tightened during closure.
+
+  void reset() { *this = ClosureCounters(); }
+
+  ClosureCounters operator-(const ClosureCounters &O) const {
+    ClosureCounters R;
+    R.FullCloses = FullCloses - O.FullCloses;
+    R.IncrementalCloses = IncrementalCloses - O.IncrementalCloses;
+    R.ClosesSkipped = ClosesSkipped - O.ClosesSkipped;
+    R.CachedCloses = CachedCloses - O.CachedCloses;
+    R.CellsTouched = CellsTouched - O.CellsTouched;
+    return R;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const ClosureCounters &C) {
+  OS << "{fullCloses=" << C.FullCloses
+     << " incrementalCloses=" << C.IncrementalCloses
+     << " closesSkipped=" << C.ClosesSkipped
+     << " cachedCloses=" << C.CachedCloses
+     << " cellsTouched=" << C.CellsTouched << "}";
+  return OS;
+}
+
+/// The thread's closure-counter sink (see ClosureCounters).
+inline ClosureCounters &closureCounters() {
+  static thread_local ClosureCounters Counters;
+  return Counters;
 }
 
 } // namespace dai

@@ -52,13 +52,46 @@ TEST(MemoTable, OverwriteKeepsSingleEntry) {
   EXPECT_EQ(M.lookup(K)->get("x"), std::optional<int64_t>(2));
 }
 
-TEST(MemoTable, EvictsOldestBeyondCap) {
+TEST(MemoTable, EvictsLeastRecentlyUsedBeyondCap) {
   MemoTable<ConstPropDomain> M(/*MaxEntries=*/3);
   for (uint64_t I = 0; I < 5; ++I)
     M.store(Name::valHash(I), ConstState());
   EXPECT_EQ(M.size(), 3u);
-  EXPECT_FALSE(M.lookup(Name::valHash(0)).has_value()) << "FIFO eviction";
+  // No lookups intervened, so recency order is insertion order.
+  EXPECT_FALSE(M.lookup(Name::valHash(0)).has_value());
+  EXPECT_FALSE(M.lookup(Name::valHash(1)).has_value());
   EXPECT_TRUE(M.lookup(Name::valHash(4)).has_value());
+}
+
+TEST(MemoTable, LookupRefreshesRecency) {
+  MemoTable<ConstPropDomain> M(/*MaxEntries=*/3);
+  for (uint64_t I = 0; I < 3; ++I)
+    M.store(Name::valHash(I), ConstState());
+  // Touch the oldest entry; the next insertion must evict valHash(1).
+  EXPECT_TRUE(M.lookup(Name::valHash(0)).has_value());
+  M.store(Name::valHash(3), ConstState());
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_TRUE(M.lookup(Name::valHash(0)).has_value()) << "touched: survives";
+  EXPECT_FALSE(M.lookup(Name::valHash(1)).has_value()) << "LRU: evicted";
+  EXPECT_TRUE(M.lookup(Name::valHash(3)).has_value());
+}
+
+TEST(MemoTable, StoreRefreshesRecencyAndCountsEvictions) {
+  Statistics Stats;
+  MemoTable<ConstPropDomain> M(/*MaxEntries=*/2);
+  M.attachStatistics(&Stats);
+  ConstState A;
+  A.Env["x"] = 1;
+  M.store(Name::valHash(0), ConstState());
+  M.store(Name::valHash(1), ConstState());
+  M.store(Name::valHash(0), A); // overwrite refreshes recency of 0
+  M.store(Name::valHash(2), ConstState());
+  EXPECT_EQ(Stats.MemoEvictions, 1u);
+  EXPECT_FALSE(M.lookup(Name::valHash(1)).has_value()) << "LRU: evicted";
+  ASSERT_TRUE(M.lookup(Name::valHash(0)).has_value());
+  EXPECT_EQ(M.lookup(Name::valHash(0))->get("x"), std::optional<int64_t>(1));
+  EXPECT_EQ(Stats.MemoHits, 2u);
+  EXPECT_EQ(Stats.MemoMisses, 1u);
 }
 
 TEST(MemoTable, SharedAcrossDaigsEnablesQMatch) {
@@ -70,6 +103,7 @@ TEST(MemoTable, SharedAcrossDaigsEnablesQMatch) {
                             "main");
   Statistics Stats;
   MemoTable<ConstPropDomain> Memo;
+  Memo.attachStatistics(&Stats);
   Daig<ConstPropDomain> G1(&F1.Body, ConstPropDomain::initialEntry({}),
                            &Stats, &Memo);
   (void)G1.queryLocation(F1.Body.exit());
