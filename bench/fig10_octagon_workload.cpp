@@ -20,9 +20,12 @@
 /// Additionally writes machine-readable `BENCH_fig10.json` (override with
 /// `--json PATH`, disable with `--no-json`): the per-config summary plus a
 /// variable-count sweep (`--sizes 8,16,32,48`) of the incr+demand
-/// configuration reporting wall time and DBM closure counters per size, so
-/// successive PRs can track the perf trajectory and *why* it moved (full
-/// vs. incremental closure mix; see support/statistics.h).
+/// configuration reporting wall time and DBM closure counters per size —
+/// including cells stored and the peak single-matrix footprint, which track
+/// the half-matrix layout — so successive PRs can follow the perf
+/// trajectory and *why* it moved (full vs. incremental closure mix; see
+/// support/statistics.h). scripts/check_bench_regression.sh compares a
+/// fresh JSON against the committed baseline.
 ///
 /// Defaults are scaled down from the paper's 3,000 edits × 9 trials so the
 /// whole suite runs in CI time; pass `--edits 3000 --trials 9` for paper
@@ -170,6 +173,9 @@ struct SweepResult {
 SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   Options SizeOpt = Opt;
   SizeOpt.Vars = Vars;
+  // PeakDbmBytes is a gauge; zero it so this size reports its own peak
+  // rather than the largest matrix any earlier phase ever allocated.
+  closureCounters().PeakDbmBytes = 0;
   ClosureCounters Before = closureCounters();
   Clock::time_point Start = Clock::now();
   std::vector<Sample> Samples =
@@ -387,13 +393,16 @@ int main(int argc, char **argv) {
         "    {\"vars\": %u, \"wall_ms\": %.3f, \"analysis_ms\": %.3f, "
         "\"full_closes\": %llu, \"incremental_closes\": %llu, "
         "\"closes_skipped\": %llu, \"cached_closes\": %llu, "
-        "\"dbm_cells_touched\": %llu}%s\n",
+        "\"dbm_cells_touched\": %llu, \"dbm_cells_stored\": %llu, "
+        "\"dbm_peak_bytes\": %llu}%s\n",
         S.Vars, S.WallMs, S.AnalysisMs,
         static_cast<unsigned long long>(S.Closure.FullCloses),
         static_cast<unsigned long long>(S.Closure.IncrementalCloses),
         static_cast<unsigned long long>(S.Closure.ClosesSkipped),
         static_cast<unsigned long long>(S.Closure.CachedCloses),
         static_cast<unsigned long long>(S.Closure.CellsTouched),
+        static_cast<unsigned long long>(S.Closure.CellsStored),
+        static_cast<unsigned long long>(S.Closure.PeakDbmBytes),
         SI + 1 < Sweep.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");

@@ -1,0 +1,79 @@
+#!/bin/sh
+# check_bench_regression.sh — per-size perf gate for the Fig. 10 bench.
+#
+# Compares a freshly generated BENCH_fig10.json against the committed
+# baseline and FAILS (exit 1) when wall time at the LARGEST sweep size
+# regressed by more than the threshold (default 20%).
+#
+# usage: check_bench_regression.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
+#
+# Plain POSIX sh + awk so it runs in any CI image; the JSON it parses is
+# the fixed shape bench_fig10_octagon_workload emits (one sizes-entry per
+# line with "vars" and "wall_ms" fields).
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 BASELINE.json FRESH.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+
+BASELINE=$1
+FRESH=$2
+THRESHOLD=${3:-20}
+
+for F in "$BASELINE" "$FRESH"; do
+  if [ ! -r "$F" ]; then
+    echo "check_bench_regression: cannot read $F" >&2
+    exit 2
+  fi
+done
+
+# Prints "<vars> <wall_ms>" for the largest-vars entry of the sizes array.
+largest_size() {
+  awk '
+    /"vars":/ && /"wall_ms":/ {
+      v = $0; sub(/.*"vars":[ \t]*/, "", v); sub(/[^0-9].*/, "", v)
+      w = $0; sub(/.*"wall_ms":[ \t]*/, "", w); sub(/[^0-9.].*/, "", w)
+      if (v + 0 >= maxv + 0) { maxv = v; wall = w }
+    }
+    END {
+      if (maxv == "") exit 3
+      print maxv, wall
+    }
+  ' "$1"
+}
+
+BASE_ROW=$(largest_size "$BASELINE") || {
+  echo "check_bench_regression: no sizes entries in $BASELINE" >&2
+  exit 2
+}
+FRESH_ROW=$(largest_size "$FRESH") || {
+  echo "check_bench_regression: no sizes entries in $FRESH" >&2
+  exit 2
+}
+
+BASE_VARS=${BASE_ROW% *}
+BASE_WALL=${BASE_ROW#* }
+FRESH_VARS=${FRESH_ROW% *}
+FRESH_WALL=${FRESH_ROW#* }
+
+if [ "$BASE_VARS" != "$FRESH_VARS" ]; then
+  echo "check_bench_regression: sweep-size mismatch (baseline vars=$BASE_VARS, fresh vars=$FRESH_VARS)" >&2
+  exit 2
+fi
+
+awk -v base="$BASE_WALL" -v fresh="$FRESH_WALL" -v pct="$THRESHOLD" \
+    -v vars="$BASE_VARS" '
+  BEGIN {
+    limit = base * (1 + pct / 100)
+    delta = base > 0 ? (fresh / base - 1) * 100 : 0
+    printf "fig10 gate @ %s vars: baseline %.1f ms, fresh %.1f ms (%+.1f%%), limit %.1f ms (+%s%%)\n",
+           vars, base, fresh, delta, limit, pct
+    if (fresh > limit) {
+      printf "FAIL: wall-time regression exceeds %s%% at the largest sweep size\n", pct
+      exit 1
+    }
+    print "OK"
+  }
+'

@@ -17,6 +17,7 @@
 #define DAI_DOMAIN_CONSTPROP_H
 
 #include "domain/abstract_domain.h"
+#include "domain/symbol.h"
 #include "cfg/program.h"
 #include "support/hashing.h"
 
@@ -27,16 +28,30 @@
 
 namespace dai {
 
-/// ⊥ or a finite map var → constant (absent = ⊤).
+/// ⊥ or a finite map var → constant (absent = ⊤). Keyed by interned
+/// SymbolIds like the other domain-state maps (see domain/symbol.h); the
+/// string overloads intern on writes and probe without interning on reads.
 struct ConstState {
   bool Bottom = false;
-  std::map<std::string, int64_t> Env;
+  std::map<SymbolId, int64_t> Env;
 
-  std::optional<int64_t> get(const std::string &Var) const {
-    auto It = Env.find(Var);
+  std::optional<int64_t> get(SymbolId Sym) const {
+    auto It = Env.find(Sym);
     if (It == Env.end())
       return std::nullopt;
     return It->second;
+  }
+  std::optional<int64_t> get(const std::string &Var) const {
+    SymbolId Sym = lookupSymbol(Var);
+    return Sym == kNoSymbol ? std::nullopt : get(Sym);
+  }
+  void setVar(const std::string &Var, int64_t V) {
+    Env[internSymbol(Var)] = V;
+  }
+  void eraseVar(const std::string &Var) {
+    SymbolId Sym = lookupSymbol(Var);
+    if (Sym != kNoSymbol)
+      Env.erase(Sym);
   }
 };
 
@@ -109,13 +124,13 @@ struct ConstPropDomain {
       return Out;
     case StmtKind::Alloc:
     case StmtKind::Call:
-      Out.Env.erase(S.Lhs);
+      Out.eraseVar(S.Lhs);
       return Out;
     case StmtKind::Assign: {
       if (auto V = eval(S.Rhs, In))
-        Out.Env[S.Lhs] = *V;
+        Out.setVar(S.Lhs, *V);
       else
-        Out.Env.erase(S.Lhs);
+        Out.eraseVar(S.Lhs);
       return Out;
     }
     case StmtKind::Assume: {
@@ -173,7 +188,7 @@ struct ConstPropDomain {
       return 0xb0770f000000ULL;
     uint64_t H = 0x5bd1e995cb1ab31fULL;
     for (const auto &[Var, V] : A.Env) {
-      H = hashCombine(H, hashString(Var));
+      H = hashCombine(H, static_cast<uint64_t>(Var));
       H = hashCombine(H, static_cast<uint64_t>(V));
     }
     return H;
@@ -189,7 +204,7 @@ struct ConstPropDomain {
       if (!First)
         OS << ", ";
       First = false;
-      OS << Var << "=" << V;
+      OS << symbolName(Var) << "=" << V;
     }
     OS << "}";
     return OS.str();
@@ -205,7 +220,7 @@ struct ConstPropDomain {
     for (size_t I = 0, E = CalleeParams.size(); I != E; ++I) {
       if (I < CallSite.Args.size())
         if (auto V = eval(CallSite.Args[I], Caller))
-          Entry.Env[CalleeParams[I]] = *V;
+          Entry.setVar(CalleeParams[I], *V);
     }
     return Entry;
   }
@@ -218,9 +233,9 @@ struct ConstPropDomain {
       return bottom();
     Elem Out = Caller;
     if (auto V = CalleeExit.get(RetVar))
-      Out.Env[CallSite.Lhs] = *V;
+      Out.setVar(CallSite.Lhs, *V);
     else
-      Out.Env.erase(CallSite.Lhs);
+      Out.eraseVar(CallSite.Lhs);
     return Out;
   }
 
@@ -240,7 +255,7 @@ private:
     auto Learn = [&](const ExprPtr &VarSide, const ExprPtr &ValSide) {
       if (VarSide && VarSide->Kind == ExprKind::Var)
         if (auto V = eval(ValSide, S))
-          S.Env[VarSide->Name] = *V;
+          S.setVar(VarSide->Name, *V);
     };
     Learn(Cond->Lhs, Cond->Rhs);
     Learn(Cond->Rhs, Cond->Lhs);

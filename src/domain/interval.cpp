@@ -584,7 +584,7 @@ uint64_t IntervalDomain::hash(const IntervalState &A) {
     return 0x707ea1b2c3d4e5f6ULL;
   uint64_t H = 0x1234abcd5678ef01ULL;
   for (const auto &[Var, V] : A.Env) {
-    H = hashCombine(H, hashString(Var));
+    H = hashCombine(H, static_cast<uint64_t>(Var));
     H = hashCombine(H, V.Num.hash());
     H = hashCombine(H, V.Len.hash());
     H = hashCombine(H, V.Elems.hash());
@@ -602,7 +602,7 @@ std::string IntervalDomain::toString(const IntervalState &A) {
     if (!First)
       OS << ", ";
     First = false;
-    OS << Var << ": " << V.Num.toString();
+    OS << symbolName(Var) << ": " << V.Num.toString();
     if (!V.Len.isTop())
       OS << " len" << V.Len.toString();
     if (!V.Elems.isTop())

@@ -22,6 +22,7 @@
 #define DAI_DOMAIN_INTERVAL_H
 
 #include "domain/abstract_domain.h"
+#include "domain/symbol.h"
 #include "lang/stmt.h"
 
 #include <cstdint>
@@ -135,22 +136,40 @@ struct VarAbs {
   }
 };
 
-/// An abstract state: ⊥ or a finite map from variables to VarAbs (absent
-/// variables are ⊤). Kept normalized: ⊤ bindings are erased.
+/// An abstract state: ⊥ or a finite map from interned variable symbols to
+/// VarAbs (absent variables are ⊤). Kept normalized: ⊤ bindings are erased.
+/// Keys are SymbolIds (domain/symbol.h) so map operations compare integers
+/// and the octagon domain's interval fallback crosses the interface without
+/// touching strings; the string overloads intern (set) or probe without
+/// interning (get — reading a never-seen variable must not grow the table).
 struct IntervalState {
   bool Bottom = false;
-  std::map<std::string, VarAbs> Env;
+  std::map<SymbolId, VarAbs> Env;
 
   /// Lookup with the absent-means-top convention.
-  VarAbs get(const std::string &Var) const {
-    auto It = Env.find(Var);
+  VarAbs get(SymbolId Sym) const {
+    auto It = Env.find(Sym);
     return It == Env.end() ? VarAbs::top() : It->second;
   }
-  void set(const std::string &Var, VarAbs V) {
+  VarAbs get(const std::string &Var) const {
+    SymbolId Sym = lookupSymbol(Var);
+    return Sym == kNoSymbol ? VarAbs::top() : get(Sym);
+  }
+  void set(SymbolId Sym, VarAbs V) {
     if (V.isTop())
-      Env.erase(Var);
+      Env.erase(Sym);
     else
-      Env[Var] = std::move(V);
+      Env[Sym] = std::move(V);
+  }
+  void set(const std::string &Var, VarAbs V) {
+    if (V.isTop()) {
+      // Erasing a never-interned name is a no-op; don't intern for it.
+      SymbolId Sym = lookupSymbol(Var);
+      if (Sym != kNoSymbol)
+        Env.erase(Sym);
+      return;
+    }
+    set(internSymbol(Var), std::move(V));
   }
 };
 

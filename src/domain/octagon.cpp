@@ -42,11 +42,57 @@ int64_t floorDiv2(int64_t A) {
 
 } // namespace
 
-size_t Octagon::varIndex(const std::string &Var) const {
-  auto It = std::lower_bound(varList().begin(), varList().end(), Var);
-  if (It == varList().end() || *It != Var)
+namespace {
+
+/// Marks which variables carry at least one constraint — the shared
+/// predicate of normalize() (which drops the unconstrained dimensions) and
+/// hashNormalized() (which must hash exactly the dimensions normalize would
+/// keep). One sweep over the stored cells suffices: every logical non-⊤
+/// off-diagonal entry has a stored representative over the same variable
+/// pair.
+std::vector<bool> constrainedVars(const Octagon &O) {
+  size_t Dim = 2 * O.numVars();
+  std::vector<bool> Constrained(O.numVars(), false);
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0, JMax = I | 1; J <= JMax; ++J)
+      if (I != J && O.at(I, J) != Inf) {
+        Constrained[I / 2] = true;
+        Constrained[J / 2] = true;
+      }
+  return Constrained;
+}
+
+/// A symbol guaranteed absent from \p O, derived from \p Base. The common
+/// case interns nothing new; each collision step interns one more
+/// candidate, and candidates are reused process-wide, so the table stays
+/// bounded by the worst simultaneous collision depth. The '$' in fallback
+/// names cannot appear in a source identifier (see lang/lexer.cpp), so
+/// generated names never collide with program variables.
+SymbolId freshSymbol(const Octagon &O, const std::string &Base) {
+  SymbolId S = internSymbol(Base);
+  for (unsigned K = 0; O.varIndex(S) != npos; ++K)
+    S = internSymbol(Base + "$" + std::to_string(K));
+  return S;
+}
+
+} // namespace
+
+size_t Octagon::varIndex(SymbolId Sym) const {
+  auto It = std::lower_bound(varList().begin(), varList().end(), Sym);
+  if (It == varList().end() || *It != Sym)
     return npos;
   return static_cast<size_t>(It - varList().begin());
+}
+
+size_t Octagon::varIndex(const std::string &Var) const {
+  SymbolId Sym = lookupSymbol(Var);
+  return Sym == kNoSymbol ? npos : varIndex(Sym);
+}
+
+void Octagon::setMat(std::vector<int64_t> V) {
+  recordDbmAlloc(V.size());
+  MPtr = std::make_shared<MatBuf>();
+  MPtr->M = std::move(V);
 }
 
 void Octagon::resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew) {
@@ -54,52 +100,53 @@ void Octagon::resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew) {
   // No invalidateDerived() here: the old buffer is only read (sharers keep
   // it, caches intact) and setMat() installs a fresh cache-free buffer.
   const std::vector<int64_t> &OldM = mat();
-  std::vector<int64_t> NewM(4 * NewN * NewN, Inf);
   size_t NewDim = 2 * NewN;
-  for (size_t I = 0; I < NewDim; ++I)
-    NewM[I * NewDim + I] = 0;
-  size_t OldN = numVars();
-  size_t OldDim2 = 2 * OldN;
-  for (size_t A = 0; A < NewN; ++A) {
-    if (OldIndexOfNew[A] == npos)
-      continue;
-    for (size_t B = 0; B < NewN; ++B) {
-      if (OldIndexOfNew[B] == npos)
+  std::vector<int64_t> NewM(matSize(NewDim), Inf);
+  for (size_t I = 0; I < NewDim; ++I) {
+    size_t OldA = OldIndexOfNew[I / 2];
+    size_t JMax = I | 1;
+    size_t RowBase = matPos(I, 0);
+    for (size_t J = 0; J <= JMax; ++J) {
+      if (I == J) {
+        // Copy a surviving dimension's self-loop rather than forcing 0: a
+        // raw-set negative diagonal is pending ⊥ evidence that the next
+        // closure must still see (the dense layout preserved it too).
+        size_t D = 2 * OldA + (I & 1);
+        NewM[RowBase + J] = (OldA == npos) ? 0 : OldM[matPos2(D, D)];
         continue;
-      for (int SA = 0; SA < 2; ++SA)
-        for (int SB = 0; SB < 2; ++SB) {
-          size_t OldI = 2 * OldIndexOfNew[A] + SA;
-          size_t OldJ = 2 * OldIndexOfNew[B] + SB;
-          NewM[(2 * A + SA) * NewDim + (2 * B + SB)] =
-              OldM[OldI * OldDim2 + OldJ];
-        }
+      }
+      size_t OldB = OldIndexOfNew[J / 2];
+      if (OldA == npos || OldB == npos)
+        continue; // fresh dimension: stays unconstrained
+      NewM[RowBase + J] =
+          OldM[matPos2(2 * OldA + (I & 1), 2 * OldB + (J & 1))];
     }
   }
   setMat(std::move(NewM));
 }
 
-void Octagon::addVar(const std::string &Var) {
-  if (varIndex(Var) != npos)
+void Octagon::addVar(SymbolId Sym) {
+  if (varIndex(Sym) != npos)
     return;
-  std::vector<std::string> NewVars = varList();
-  NewVars.insert(std::lower_bound(NewVars.begin(), NewVars.end(), Var), Var);
+  std::vector<SymbolId> NewVars = varList();
+  NewVars.insert(std::lower_bound(NewVars.begin(), NewVars.end(), Sym), Sym);
   std::vector<size_t> OldIdx(NewVars.size());
   for (size_t K = 0; K < NewVars.size(); ++K)
-    OldIdx[K] = (NewVars[K] == Var) ? npos : varIndex(NewVars[K]);
+    OldIdx[K] = (NewVars[K] == Sym) ? npos : varIndex(NewVars[K]);
   resizeFor(NewVars.size(), OldIdx);
   setVars(std::move(NewVars));
   // A fresh unconstrained dimension keeps closedness.
 }
 
-void Octagon::forgetAndRemove(const std::string &Var) {
-  size_t Idx = varIndex(Var);
+void Octagon::forgetAndRemove(SymbolId Sym) {
+  size_t Idx = varIndex(Sym);
   if (Idx == npos)
     return;
-  // Precision requires propagating Var's constraints first.
+  // Precision requires propagating Sym's constraints first.
   close();
   if (Bottom)
     return;
-  std::vector<std::string> NewVars;
+  std::vector<SymbolId> NewVars;
   std::vector<size_t> OldIdx;
   for (size_t K = 0; K < numVars(); ++K) {
     if (K == Idx)
@@ -109,6 +156,14 @@ void Octagon::forgetAndRemove(const std::string &Var) {
   }
   resizeFor(NewVars.size(), OldIdx);
   setVars(std::move(NewVars));
+}
+
+void Octagon::forgetAndRemove(const std::string &Var) {
+  // Probing only: forgetting a never-interned name is a no-op and must not
+  // grow the intern table.
+  SymbolId Sym = lookupSymbol(Var);
+  if (Sym != kNoSymbol)
+    forgetAndRemove(Sym);
 }
 
 void Octagon::forgetInPlace(size_t Idx) {
@@ -121,20 +176,24 @@ void Octagon::forgetInPlace(size_t Idx) {
   invalidateDerived();
   size_t Dim = 2 * numVars();
   std::vector<int64_t> &MM = matMut();
+  // Every stored cell incident to the doubled indices of Idx: the two rows
+  // (columns 0..(I|1)) and the two columns (rows with J ≤ (A|1)).
   for (int S = 0; S < 2; ++S) {
     size_t I = 2 * Idx + S;
-    for (size_t J = 0; J < Dim; ++J) {
-      MM[I * Dim + J] = Inf;
-      MM[J * Dim + I] = Inf;
-    }
-    MM[I * Dim + I] = 0;
+    size_t RowBase = matPos(I, 0);
+    for (size_t J = 0, JMax = I | 1; J <= JMax; ++J)
+      MM[RowBase + J] = Inf;
+    for (size_t A = 0; A < Dim; ++A)
+      if (I <= (A | 1))
+        MM[matPos(A, I)] = Inf;
+    MM[matPos(I, I)] = 0;
   }
   // Removing constraints from a closed matrix cannot break the closure
   // axioms (every bound on the right of them only grows), so Closed holds.
 }
 
-void Octagon::restrictTo(const std::vector<std::string> &Keep) {
-  std::vector<std::string> NewVars;
+void Octagon::restrictTo(const std::vector<SymbolId> &Keep) {
+  std::vector<SymbolId> NewVars;
   std::vector<size_t> OldIdx;
   for (size_t K = 0; K < numVars(); ++K) {
     if (std::find(Keep.begin(), Keep.end(), varList()[K]) == Keep.end())
@@ -154,10 +213,10 @@ void Octagon::restrictTo(const std::vector<std::string> &Keep) {
   setVars(std::move(NewVars));
 }
 
-void Octagon::projectRawTo(const std::vector<std::string> &Keep) {
+void Octagon::projectRawTo(const std::vector<SymbolId> &Keep) {
   if (Bottom)
     return;
-  std::vector<std::string> NewVars;
+  std::vector<SymbolId> NewVars;
   std::vector<size_t> OldIdx;
   for (size_t K = 0; K < numVars(); ++K) {
     if (std::find(Keep.begin(), Keep.end(), varList()[K]) == Keep.end())
@@ -171,11 +230,11 @@ void Octagon::projectRawTo(const std::vector<std::string> &Keep) {
   setVars(std::move(NewVars));
 }
 
-void Octagon::rename(const std::string &From, const std::string &To) {
+void Octagon::rename(SymbolId From, SymbolId To) {
   size_t FromIdx = varIndex(From);
   assert(FromIdx != npos && "rename source must exist");
   assert(varIndex(To) == npos && "rename target must be absent");
-  std::vector<std::string> NewVars = varList();
+  std::vector<SymbolId> NewVars = varList();
   NewVars[FromIdx] = To;
   std::sort(NewVars.begin(), NewVars.end());
   std::vector<size_t> OldIdx(NewVars.size());
@@ -185,14 +244,26 @@ void Octagon::rename(const std::string &From, const std::string &To) {
   setVars(std::move(NewVars));
 }
 
+void Octagon::set(size_t I, size_t J, int64_t V) {
+  assert(I < 2 * numVars() && J < 2 * numVars() && "set index out of range");
+  size_t Pos = matPos2(I, J);
+  if (mat()[Pos] == V)
+    return; // no-op write: matrix, caches, and Closed all stay valid
+  invalidateDerived();
+  matMut()[Pos] = V;
+  // Any change breaks the canonical form: a raised entry is looser than
+  // what the rest of the matrix implies, a tightened one is unpropagated
+  // (and could even hide ⊥), so the flag survives only no-op writes.
+  Closed = false;
+}
+
 void Octagon::addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
                             int64_t C) {
   assert(XIdx < numVars() && "constraint variable out of range");
   invalidateDerived();
-  size_t Dim = 2 * numVars();
   std::vector<int64_t> &MM = matMut();
   auto tighten = [&](size_t I, size_t J, int64_t Bound) {
-    int64_t &Slot = MM[I * Dim + J];
+    int64_t &Slot = MM[matPos2(I, J)];
     if (Bound < Slot)
       Slot = Bound;
   };
@@ -212,21 +283,21 @@ void Octagon::addConstraint(size_t XIdx, bool PosX, size_t YIdx, bool PosY,
   }
   assert(YIdx < numVars() && "constraint variable out of range");
   assert(XIdx != YIdx && "binary constraints need distinct variables");
-  // (±x) + (±y) ≤ C  ⟺  V_a − V_b ≤ C with V_a = ±x and V_b = ∓y.
+  // (±x) + (±y) ≤ C  ⟺  V_a − V_b ≤ C with V_a = ±x and V_b = ∓y. The
+  // coherent mirror (ā, b̄) is the same stored cell, so one write covers
+  // both orientations.
   size_t A = 2 * XIdx + (PosX ? 0 : 1);
   size_t B = 2 * YIdx + (PosY ? 1 : 0);
   tighten(B, A, C);
-  tighten(A ^ 1, B ^ 1, C); // coherence
   Closed = false;
 }
 
 void Octagon::elementwiseMax(const Octagon &O) {
   assert(varList() == O.varList() && "elementwiseMax requires equal vars");
   invalidateDerived();
-  size_t Dim = 2 * numVars();
   std::vector<int64_t> &MM = matMut();
   const std::vector<int64_t> &Theirs = O.mat();
-  for (size_t I = 0; I < Dim * Dim; ++I)
+  for (size_t I = 0, E = MM.size(); I < E; ++I)
     if (Theirs[I] > MM[I])
       MM[I] = Theirs[I];
 }
@@ -237,38 +308,96 @@ void Octagon::widenWith(const Octagon &O) {
   size_t Dim = 2 * numVars();
   std::vector<int64_t> &MM = matMut();
   const std::vector<int64_t> &Theirs = O.mat();
+  for (size_t I = 0, E = MM.size(); I < E; ++I)
+    if (Theirs[I] > MM[I])
+      MM[I] = Inf;
+  // Pin the diagonal (both diagonals are 0 in well-formed inputs; this
+  // guards against raw-edited values).
   for (size_t I = 0; I < Dim; ++I)
-    for (size_t J = 0; J < Dim; ++J) {
-      int64_t &Slot = MM[I * Dim + J];
-      if (I == J)
-        Slot = 0;
-      else if (Theirs[I * Dim + J] > Slot)
-        Slot = Inf;
-    }
+    MM[matPos(I, I)] = 0;
   Closed = false;
+}
+
+void Octagon::pairPivot(size_t VarK, uint64_t &CellsTouched) {
+  size_t Dim = 2 * numVars();
+  std::vector<int64_t> &MM = matMut();
+  const size_t K = 2 * VarK, K1 = K + 1;
+  // Snapshot the two pivot rows (the textbook D_{k-1} reads). The four
+  // Miné path candidates below include the K↔K1 compositions explicitly,
+  // which is what makes the PAIR step correct on a coherent half-matrix: a
+  // single-index sweep would apply the pivot to only one orientation of
+  // each stored cell. Coherence turns the pivot *columns* into these same
+  // rows: m[I][K] = m[K̄][Ī] = RowK1[Ī], and m[I][K1] = RowK[Ī].
+  // Scratch rows are thread_local (single-threaded engine per thread, like
+  // closureCounters): the pivot kernels run thousands of times per analysis
+  // and must not pay a heap allocation each.
+  static thread_local std::vector<int64_t> RowK, RowK1;
+  RowK.resize(Dim);
+  RowK1.resize(Dim);
+  for (size_t J = 0; J < Dim; ++J) {
+    RowK[J] = MM[matPos2(K, J)];
+    RowK1[J] = MM[matPos2(K1, J)];
+  }
+  const int64_t KK1 = RowK[K1]; // m[K][K+1]
+  const int64_t K1K = RowK1[K]; // m[K+1][K]
+  for (size_t I = 0; I < Dim; ++I) {
+    const int64_t IK = RowK1[I ^ 1];
+    const int64_t IK1 = RowK[I ^ 1];
+    // Cheapest way from I into each pivot, allowing the K↔K1 hop; combined
+    // with the pivot rows below this realizes all four candidates
+    // I→K→J, I→K1→J, I→K→K1→J, I→K1→K→J.
+    const int64_t BestIK = std::min(IK, bAdd(IK1, K1K));
+    const int64_t BestIK1 = std::min(IK1, bAdd(IK, KK1));
+    if (BestIK == Inf && BestIK1 == Inf)
+      continue;
+    const size_t JMax = I | 1;
+    const size_t RowBase = matPos(I, 0);
+    for (size_t J = 0; J <= JMax; ++J) {
+      const int64_t Cand =
+          std::min(bAdd(BestIK, RowK[J]), bAdd(BestIK1, RowK1[J]));
+      int64_t &Slot = MM[RowBase + J];
+      if (Cand < Slot) {
+        Slot = Cand;
+        ++CellsTouched;
+      }
+    }
+  }
 }
 
 bool Octagon::strengthenAndCheckEmpty(uint64_t &CellsTouched) {
   size_t Dim = 2 * numVars();
   std::vector<int64_t> &MM = matMut();
   // Strengthening: combine the two unary constraints through i and j̄.
+  // Snapshotting ⌊m[i][ī]/2⌋ up front matches the in-place dense sweep
+  // exactly: strengthening a unary cell rewrites it to 2·⌊·/2⌋, which is a
+  // fixed point of floorDiv2, so pre- and post-update reads agree.
+  static thread_local std::vector<int64_t> Unary; // see pairPivot's scratch
+  Unary.resize(Dim);
   for (size_t I = 0; I < Dim; ++I)
-    for (size_t J = 0; J < Dim; ++J) {
-      int64_t Cand = bAdd(floorDiv2(MM[I * Dim + (I ^ 1)]),
-                          floorDiv2(MM[(J ^ 1) * Dim + J]));
-      int64_t &Slot = MM[I * Dim + J];
+    Unary[I] = floorDiv2(MM[matPos2(I, I ^ 1)]);
+  for (size_t I = 0; I < Dim; ++I) {
+    const int64_t HalfI = Unary[I];
+    if (HalfI == Inf)
+      continue; // every candidate in this row is +∞
+    const size_t JMax = I | 1;
+    const size_t RowBase = matPos(I, 0);
+    for (size_t J = 0; J <= JMax; ++J) {
+      int64_t Cand = bAdd(HalfI, Unary[J ^ 1]);
+      int64_t &Slot = MM[RowBase + J];
       if (Cand < Slot) {
         Slot = Cand;
         ++CellsTouched;
       }
     }
+  }
   // Emptiness: a negative self-loop.
   for (size_t I = 0; I < Dim; ++I) {
-    if (MM[I * Dim + I] < 0) {
+    int64_t &D = MM[matPos(I, I)];
+    if (D < 0) {
       *this = bottomValue();
       return false;
     }
-    MM[I * Dim + I] = 0;
+    D = 0;
   }
   return true;
 }
@@ -287,29 +416,15 @@ void Octagon::close() {
     *this = *Cache;
     return;
   }
-  size_t Dim = 2 * numVars();
-  if (Dim == 0) {
+  size_t N = numVars();
+  if (N == 0) {
     Closed = true;
     return;
   }
   ++closureCounters().FullCloses;
   uint64_t Touched = 0;
-  std::vector<int64_t> &MM = matMut();
-  // Floyd–Warshall shortest paths.
-  for (size_t K = 0; K < Dim; ++K)
-    for (size_t I = 0; I < Dim; ++I) {
-      int64_t IK = MM[I * Dim + K];
-      if (IK == Inf)
-        continue;
-      for (size_t J = 0; J < Dim; ++J) {
-        int64_t Cand = bAdd(IK, MM[K * Dim + J]);
-        int64_t &Slot = MM[I * Dim + J];
-        if (Cand < Slot) {
-          Slot = Cand;
-          ++Touched;
-        }
-      }
-    }
+  for (size_t V = 0; V < N; ++V)
+    pairPivot(V, Touched);
   bool NonEmpty = strengthenAndCheckEmpty(Touched);
   closureCounters().CellsTouched += Touched;
   if (!NonEmpty)
@@ -326,45 +441,23 @@ void Octagon::closeIncremental(size_t XIdx, size_t YIdx) {
     ++closureCounters().ClosesSkipped;
     return;
   }
-  size_t Dim = 2 * numVars();
-  if (Dim == 0) {
+  if (numVars() == 0) {
     Closed = true;
     return;
   }
   assert(XIdx < numVars() && "pivot variable out of range");
-  invalidateDerived(); // the pivot loops below write M directly
+  invalidateDerived(); // the pivot sweeps below write M directly
   ++closureCounters().IncrementalCloses;
   uint64_t Touched = 0;
   // Every tightened edge is incident to the doubled indices of x (and y),
   // so any path improved by the new constraints decomposes into old
-  // shortest-path segments joined at those ≤4 vertices: running the
-  // Floyd–Warshall pivot step for just these K restores exact shortest
-  // paths in O(n²) (each pivot is processed once; order is irrelevant).
-  size_t Pivots[4];
-  size_t NumPivots = 0;
-  Pivots[NumPivots++] = 2 * XIdx;
-  Pivots[NumPivots++] = 2 * XIdx + 1;
+  // shortest-path segments joined at those ≤4 vertices: running the pair
+  // pivot step for just these variables restores exact shortest paths in
+  // O(n²) (each pair is processed once; order is irrelevant).
+  pairPivot(XIdx, Touched);
   if (YIdx != npos) {
     assert(YIdx < numVars() && "pivot variable out of range");
-    Pivots[NumPivots++] = 2 * YIdx;
-    Pivots[NumPivots++] = 2 * YIdx + 1;
-  }
-  std::vector<int64_t> &MM = matMut();
-  for (size_t P = 0; P < NumPivots; ++P) {
-    size_t K = Pivots[P];
-    for (size_t I = 0; I < Dim; ++I) {
-      int64_t IK = MM[I * Dim + K];
-      if (IK == Inf)
-        continue;
-      for (size_t J = 0; J < Dim; ++J) {
-        int64_t Cand = bAdd(IK, MM[K * Dim + J]);
-        int64_t &Slot = MM[I * Dim + J];
-        if (Cand < Slot) {
-          Slot = Cand;
-          ++Touched;
-        }
-      }
-    }
+    pairPivot(YIdx, Touched);
   }
   bool NonEmpty = strengthenAndCheckEmpty(Touched);
   closureCounters().CellsTouched += Touched;
@@ -379,7 +472,7 @@ const Octagon &Octagon::closedView() const {
   if (numVars() == 0) {
     // Unclosed but zero-variable: the closure is the empty ⊤. Handled
     // before touching MPtr — caching a copy here would let close()'s
-    // Dim==0 early-return keep sharing this buffer and form a
+    // zero-dimension early-return keep sharing this buffer and form a
     // MatBuf→Octagon→MatBuf cycle (a leak).
     static const Octagon EmptyClosed;
     return EmptyClosed;
@@ -394,44 +487,52 @@ const Octagon &Octagon::closedView() const {
   return *MPtr->ClosedCache;
 }
 
-Interval Octagon::boundsOf(const std::string &Var) const {
+Interval Octagon::boundsOf(SymbolId Sym) const {
   assert(!Bottom && "boundsOf on ⊥");
-  size_t Idx = varIndex(Var);
+  size_t Idx = varIndex(Sym);
   if (Idx == npos)
     return Interval::top();
-  size_t Dim = 2 * numVars();
-  int64_t UpperRaw = mat()[(2 * Idx + 1) * Dim + (2 * Idx)]; // 2x ≤ UpperRaw
-  int64_t LowerRaw = mat()[(2 * Idx) * Dim + (2 * Idx + 1)]; // −2x ≤ LowerRaw
+  int64_t UpperRaw = mat()[matPos2(2 * Idx + 1, 2 * Idx)]; // 2x ≤ UpperRaw
+  int64_t LowerRaw = mat()[matPos2(2 * Idx, 2 * Idx + 1)]; // −2x ≤ LowerRaw
   int64_t Hi = (UpperRaw == Inf) ? Interval::kPosInf : floorDiv2(UpperRaw);
   int64_t Lo = (LowerRaw == Inf) ? Interval::kNegInf : -floorDiv2(LowerRaw);
   return Interval::range(Lo, Hi);
 }
 
+Interval Octagon::boundsOf(const std::string &Var) const {
+  SymbolId Sym = lookupSymbol(Var);
+  return Sym == kNoSymbol ? Interval::top() : boundsOf(Sym);
+}
+
 bool Octagon::entailsEntrywise(const Octagon &O) const {
   // "this" must be closed; checks closed(this) ⊑ O entrywise over O's vars.
-  size_t Dim = 2 * numVars();
+  // Sweeping O's STORED cells covers every logical entry: both matrices are
+  // coherent, and the coherence involution maps stored cells onto the
+  // mirrored logical half.
   size_t ODim = 2 * O.numVars();
-  // Hoist the name→index translation out of the quadratic loop.
+  const std::vector<int64_t> &TheirM = O.mat();
+  // Hoist the symbol→index translation out of the quadratic loop.
   std::vector<size_t> MyIdx(O.numVars());
   for (size_t A = 0; A < O.numVars(); ++A)
     MyIdx[A] = varIndex(O.varList()[A]);
-  for (size_t A = 0; A < O.numVars(); ++A) {
-    size_t MyA = MyIdx[A];
-    for (size_t B = 0; B < O.numVars(); ++B) {
-      size_t MyB = MyIdx[B];
-      for (int SA = 0; SA < 2; ++SA)
-        for (int SB = 0; SB < 2; ++SB) {
-          int64_t Theirs = O.mat()[(2 * A + SA) * ODim + (2 * B + SB)];
-          if (Theirs == Inf)
-            continue;
-          int64_t Mine = Inf;
-          if (2 * A + SA == 2 * B + SB)
-            Mine = 0;
-          else if (MyA != npos && MyB != npos)
-            Mine = mat()[(2 * MyA + SA) * Dim + (2 * MyB + SB)];
-          if (Mine > Theirs)
-            return false;
-        }
+  for (size_t OI = 0; OI < ODim; ++OI) {
+    size_t MyA = MyIdx[OI / 2];
+    size_t JMax = OI | 1;
+    size_t RowBase = matPos(OI, 0);
+    for (size_t OJ = 0; OJ <= JMax; ++OJ) {
+      int64_t Theirs = TheirM[RowBase + OJ];
+      if (Theirs == Inf)
+        continue;
+      int64_t Mine;
+      if (OI == OJ)
+        Mine = 0;
+      else if (MyA != npos && MyIdx[OJ / 2] != npos)
+        Mine = mat()[matPos2(2 * MyA + (OI & 1),
+                             2 * MyIdx[OJ / 2] + (OJ & 1))];
+      else
+        Mine = Inf;
+      if (Mine > Theirs)
+        return false;
     }
   }
   return true;
@@ -441,8 +542,8 @@ uint64_t Octagon::hash() const {
   if (Bottom)
     return 0x0c7a60b07700ULL;
   uint64_t H = 0x8f1bbcdc12345678ULL;
-  for (const auto &V : varList())
-    H = hashCombine(H, hashString(V));
+  for (SymbolId V : varList())
+    H = hashCombine(H, static_cast<uint64_t>(V));
   for (int64_t E : mat())
     H = hashCombine(H, static_cast<uint64_t>(E));
   return H;
@@ -454,34 +555,26 @@ uint64_t Octagon::hashNormalized() const {
     return 0x0c7a60b07700ULL;
   if (MPtr && MPtr->NormHashValid)
     return MPtr->NormHash;
-  size_t Dim = 2 * numVars();
   // Kept = dimensions with at least one constraint (normalize()'s
-  // predicate). A constraint between a kept and a dropped variable is
-  // impossible: it would make both of them constrained.
+  // predicate, shared via constrainedVars so the two can't drift apart).
+  std::vector<bool> Constrained = constrainedVars(*this);
   std::vector<size_t> Kept;
-  for (size_t K = 0; K < numVars(); ++K) {
-    bool Constrained = false;
-    for (size_t J = 0; J < Dim && !Constrained; ++J)
-      for (int S = 0; S < 2 && !Constrained; ++S) {
-        size_t I = 2 * K + S;
-        if (I == J)
-          continue;
-        if (mat()[I * Dim + J] != kPosInf || mat()[J * Dim + I] != kPosInf)
-          Constrained = true;
-      }
-    if (Constrained)
+  for (size_t K = 0; K < numVars(); ++K)
+    if (Constrained[K])
       Kept.push_back(K);
-  }
-  // Identical traversal order to hash() over the restricted matrix.
+  // Identical traversal order to hash() over the restricted half-matrix
+  // (kept ids ascending, then the restricted storage in row-major order).
   uint64_t H = 0x8f1bbcdc12345678ULL;
   for (size_t K : Kept)
-    H = hashCombine(H, hashString(varList()[K]));
-  for (size_t A : Kept)
-    for (int SA = 0; SA < 2; ++SA)
-      for (size_t B : Kept)
-        for (int SB = 0; SB < 2; ++SB)
-          H = hashCombine(H, static_cast<uint64_t>(
-                                 mat()[(2 * A + SA) * Dim + (2 * B + SB)]));
+    H = hashCombine(H, static_cast<uint64_t>(varList()[K]));
+  size_t KDim = 2 * Kept.size();
+  for (size_t NI = 0; NI < KDim; ++NI) {
+    size_t OldI = 2 * Kept[NI / 2] + (NI & 1);
+    for (size_t NJ = 0, JMax = NI | 1; NJ <= JMax; ++NJ) {
+      size_t OldJ = 2 * Kept[NJ / 2] + (NJ & 1);
+      H = hashCombine(H, static_cast<uint64_t>(mat()[matPos2(OldI, OldJ)]));
+    }
+  }
   if (MPtr) {
     MPtr->NormHash = H;
     MPtr->NormHashValid = true;
@@ -495,7 +588,6 @@ std::string Octagon::toString() const {
   std::ostringstream OS;
   OS << "{";
   bool First = true;
-  size_t Dim = 2 * numVars();
   auto emit = [&](const std::string &Text) {
     if (!First)
       OS << ", ";
@@ -503,23 +595,25 @@ std::string Octagon::toString() const {
     OS << Text;
   };
   for (size_t I = 0; I < numVars(); ++I) {
+    const std::string &NameI = symbolName(varList()[I]);
     Interval B = boundsOf(varList()[I]);
     if (!B.isTop())
-      emit(varList()[I] + " in " + B.toString());
+      emit(NameI + " in " + B.toString());
     for (size_t J = I + 1; J < numVars(); ++J) {
+      const std::string &NameJ = symbolName(varList()[J]);
       // x_J − x_I ≤ c and x_I + x_J ≤ c forms, both signs.
-      int64_t Diff = mat()[(2 * I) * Dim + (2 * J)];
+      int64_t Diff = at(2 * I, 2 * J);
       if (Diff != Inf)
-        emit(varList()[J] + " - " + varList()[I] + " <= " + std::to_string(Diff));
-      int64_t RevDiff = mat()[(2 * J) * Dim + (2 * I)];
+        emit(NameJ + " - " + NameI + " <= " + std::to_string(Diff));
+      int64_t RevDiff = at(2 * J, 2 * I);
       if (RevDiff != Inf)
-        emit(varList()[I] + " - " + varList()[J] + " <= " + std::to_string(RevDiff));
-      int64_t Sum = mat()[(2 * I + 1) * Dim + (2 * J)];
+        emit(NameI + " - " + NameJ + " <= " + std::to_string(RevDiff));
+      int64_t Sum = at(2 * I + 1, 2 * J);
       if (Sum != Inf)
-        emit(varList()[I] + " + " + varList()[J] + " <= " + std::to_string(Sum));
-      int64_t NegSum = mat()[(2 * I) * Dim + (2 * J + 1)];
+        emit(NameI + " + " + NameJ + " <= " + std::to_string(Sum));
+      int64_t NegSum = at(2 * I, 2 * J + 1);
       if (NegSum != Inf)
-        emit("-" + varList()[I] + " - " + varList()[J] + " <= " + std::to_string(NegSum));
+        emit("-" + NameI + " - " + NameJ + " <= " + std::to_string(NegSum));
     }
   }
   OS << "}";
@@ -533,9 +627,11 @@ std::string Octagon::toString() const {
 namespace {
 
 /// Linear form Σ coeff·var + Const; Ok is false for non-linear expressions.
+/// Variables are interned at linearization, so everything downstream works
+/// over integer symbol ids.
 struct LinForm {
   bool Ok = false;
-  std::map<std::string, int64_t> Coeffs;
+  std::map<SymbolId, int64_t> Coeffs;
   int64_t Const = 0;
 
   static LinForm fail() { return LinForm(); }
@@ -576,7 +672,7 @@ LinForm linearize(const ExprPtr &E) {
   case ExprKind::Var: {
     LinForm F;
     F.Ok = true;
-    F.Coeffs[E->Name] = 1;
+    F.Coeffs[internSymbol(E->Name)] = 1;
     return F;
   }
   case ExprKind::Unary: {
@@ -608,14 +704,15 @@ LinForm linearize(const ExprPtr &E) {
 }
 
 /// Projects the octagon onto per-variable intervals (for the interval
-/// fallback on non-octagonal expressions). Requires \p O closed.
+/// fallback on non-octagonal expressions). Requires \p O closed. Both
+/// sides of this interface are SymbolId-keyed, so no strings are touched.
 IntervalState toIntervalState(const Octagon &O) {
   IntervalState S;
   if (O.isBottom()) {
     S.Bottom = true;
     return S;
   }
-  for (const auto &V : O.vars())
+  for (SymbolId V : O.vars())
     S.set(V, VarAbs::numeric(O.boundsOf(V)));
   return S;
 }
@@ -627,33 +724,22 @@ void normalize(Octagon &O) {
   O.close();
   if (O.isBottom())
     return;
-  size_t Dim = 2 * O.numVars();
-  std::vector<std::string> Keep;
-  for (size_t K = 0; K < O.numVars(); ++K) {
-    bool Constrained = false;
-    for (size_t J = 0; J < Dim && !Constrained; ++J) {
-      for (int S = 0; S < 2 && !Constrained; ++S) {
-        size_t I = 2 * K + S;
-        if (I == J)
-          continue;
-        if (O.at(I, J) != Inf || O.at(J, I) != Inf)
-          Constrained = true;
-      }
-    }
-    if (Constrained)
+  std::vector<bool> Constrained = constrainedVars(O);
+  std::vector<SymbolId> Keep;
+  for (size_t K = 0; K < O.numVars(); ++K)
+    if (Constrained[K])
       Keep.push_back(O.vars()[K]);
-  }
   if (Keep.size() != O.numVars())
     O.restrictTo(Keep);
 }
 
 /// Assigns x := e precisely for octagonal right-hand sides, with an interval
 /// fallback otherwise. \p O must be closed on entry; closed on exit.
-void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
+void evalAssign(Octagon &O, SymbolId X, const ExprPtr &E) {
   LinForm F = linearize(E);
   bool Octagonal = F.Ok && F.Coeffs.size() <= 1 &&
                    (F.Coeffs.empty() || std::abs(F.Coeffs.begin()->second) == 1);
-  auto havocOrAdd = [&O](const std::string &V) {
+  auto havocOrAdd = [&O](SymbolId V) {
     size_t Idx = O.varIndex(V);
     if (Idx == npos) {
       O.addVar(V);
@@ -672,7 +758,7 @@ void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
     return;
   }
   if (Octagonal) {
-    const std::string &Y = F.Coeffs.begin()->first;
+    SymbolId Y = F.Coeffs.begin()->first;
     bool PosY = F.Coeffs.begin()->second > 0;
     if (Y != X) {
       if (O.varIndex(Y) == npos)
@@ -684,9 +770,13 @@ void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
       O.closeIncremental(XI, YI);
       return;
     }
-    // x := ±x + c via a temporary dimension.
-    std::string Tmp = "__oct_tmp";
-    assert(O.varIndex(Tmp) == npos && "temporary name collision");
+    // x := ±x + c via a temporary dimension whose symbol is guaranteed not
+    // to collide with a program variable (a variable literally named
+    // "__oct_tmp" must survive this path unscathed).
+    if (O.varIndex(X) == npos)
+      O.addVar(X); // untracked x: npos would read as a UNARY constraint on
+                   // tmp below, pinning x := x + c to the constant c
+    SymbolId Tmp = freshSymbol(O, "__oct_tmp");
     O.addVar(Tmp);
     size_t TI = O.varIndex(Tmp), XI = O.varIndex(X);
     O.addConstraint(TI, true, XI, !PosY, F.Const);
@@ -698,7 +788,14 @@ void evalAssign(Octagon &O, const std::string &X, const ExprPtr &E) {
   }
   // Interval fallback: bound x by the interval of e.
   Interval I = IntervalDomain::eval(E, toIntervalState(O)).Num;
-  if (!I.isTop() && !I.isEmpty()) {
+  if (I.isEmpty()) {
+    // e has NO possible value (e.g. a division by exactly zero): the
+    // assignment cannot execute, so the whole state is unreachable — the
+    // opposite of havocking x.
+    O = Octagon::bottomValue();
+    return;
+  }
+  if (!I.isTop()) {
     size_t XI = havocOrAdd(X);
     if (I.hi() != Interval::kPosInf)
       O.addConstraint(XI, true, npos, true, I.hi());
@@ -827,9 +924,9 @@ Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
     // Import refined unary bounds variable-by-variable, re-closing
     // incrementally after each so every batch sees a closed receiver.
     for (const auto &[Var, V] : Refined.Env) {
-      if (Out.varIndex(Var) == npos)
-        continue;
       size_t Idx = Out.varIndex(Var);
+      if (Idx == npos)
+        continue;
       bool Tightened = false;
       if (V.Num.hi() != Interval::kPosInf) {
         Out.addConstraint(Idx, true, npos, true, V.Num.hi());
@@ -870,7 +967,7 @@ Octagon OctagonDomain::transfer(const Stmt &S, const Elem &In) {
     normalize(Out);
     return Out;
   case StmtKind::Assign:
-    evalAssign(Out, S.Lhs, S.Rhs);
+    evalAssign(Out, internSymbol(S.Lhs), S.Rhs);
     normalize(Out);
     return Out;
   case StmtKind::Assume: {
@@ -900,8 +997,8 @@ Octagon OctagonDomain::join(const Elem &A, const Elem &B) {
     return CA;
   }
   // Join over the common variable set (absent = unconstrained).
-  std::vector<std::string> Common;
-  for (const auto &V : CA.vars())
+  std::vector<SymbolId> Common;
+  for (SymbolId V : CA.vars())
     if (CB.varIndex(V) != npos)
       Common.push_back(V);
   CA.restrictTo(Common);
@@ -924,8 +1021,8 @@ Octagon OctagonDomain::widen(const Elem &Prev, const Elem &Next) {
   // convergence; projectRawTo drops dimensions without closing (dropping
   // is sound for widening).
   Octagon P = Prev;
-  std::vector<std::string> Common;
-  for (const auto &V : P.vars())
+  std::vector<SymbolId> Common;
+  for (SymbolId V : P.vars())
     if (NC.varIndex(V) != npos)
       Common.push_back(V);
   P.projectRawTo(Common);
@@ -972,17 +1069,21 @@ Octagon OctagonDomain::enterCall(const Elem &Caller, const Stmt &CallSite,
   Octagon Tmp = Caller.closedView();
   if (Tmp.isBottom())
     return bottom();
-  std::vector<std::string> TmpNames;
+  // The temporaries use '$' names (unspellable as source identifiers), so a
+  // program variable named "__arg0" in the caller — or among the actuals
+  // still to be evaluated — can never be clobbered by them; freshSymbol
+  // additionally guards against any other occupant of the dimension.
+  std::vector<SymbolId> TmpSyms;
   for (size_t I = 0, E = CalleeParams.size(); I != E; ++I) {
-    std::string TmpName = "__arg" + std::to_string(I);
-    TmpNames.push_back(TmpName);
+    SymbolId TmpSym = freshSymbol(Tmp, "__arg$" + std::to_string(I));
+    TmpSyms.push_back(TmpSym);
     if (I < CallSite.Args.size())
-      evalAssign(Tmp, TmpName, CallSite.Args[I]);
+      evalAssign(Tmp, TmpSym, CallSite.Args[I]);
   }
-  Tmp.restrictTo(TmpNames);
+  Tmp.restrictTo(TmpSyms);
   for (size_t I = 0, E = CalleeParams.size(); I != E; ++I)
-    if (Tmp.varIndex(TmpNames[I]) != npos)
-      Tmp.rename(TmpNames[I], CalleeParams[I]);
+    if (Tmp.varIndex(TmpSyms[I]) != npos)
+      Tmp.rename(TmpSyms[I], internSymbol(CalleeParams[I]));
   normalize(Tmp);
   return Tmp;
 }

@@ -13,14 +13,41 @@
 /// DESIGN.md, substitutions). Its deliberately expensive O(n³) closure makes
 /// domain operations dominate analysis latency, as in the paper.
 ///
-/// Representation notes:
-///  - Matrix entry (i, j) bounds V_j − V_i ≤ M[i][j], where V_{2k} = +v_k and
-///    V_{2k+1} = −v_k; kPosInf encodes +∞.
+/// Representation notes (coherent half-matrix + interned symbols):
+///  - Logical DBM entry (i, j) bounds V_j − V_i ≤ M[i][j], where V_{2k} = +v_k
+///    and V_{2k+1} = −v_k; kPosInf encodes +∞. Writing ī for i^1 (the sign
+///    flip of a doubled index), every octagon DBM is *coherent*:
+///    m[i][j] = m[j̄][ī] — the same constraint read through both sign
+///    orientations. A dense (2n)² matrix therefore stores every constraint
+///    twice.
+///  - Storage keeps exactly one representative per coherence orbit: the
+///    entries with j ≤ (i|1) (APRON's triangular layout), 2n²+2n cells for n
+///    variables instead of 4n². Row i holds columns 0..(i|1), so
+///      matPos(i, j)  = j + (i+1)²/2            (valid when j ≤ (i|1))
+///      matPos2(i, j) = j > i ? matPos(j̄, ī) : matPos(i, j)
+///    canonicalizes any logical index pair onto its stored representative.
+///    The only j > i stored case is the self-coherent cell (i, i^1) for even
+///    i, which matPos2 maps onto itself. Coherence is structural: a write
+///    through set()/at() can never desynchronize the two orientations,
+///    because they are the same cell.
+///  - All closure kernels sweep stored cells only and run Miné's *pair*
+///    pivot step (both doubled indices 2k, 2k+1 of a variable per step, with
+///    the four path candidates i→k→j, i→k̄→j, i→k→k̄→j, i→k̄→k→j): on a
+///    coherent half-matrix a single-index Floyd–Warshall sweep would apply
+///    each pivot to only one orientation of each stored cell, so the pair
+///    step is what makes the triangular sweep equal the dense closure
+///    entrywise.
+///  - Dimensions are interned SymbolIds (domain/symbol.h), kept sorted by
+///    id: varIndex is an integer binary search, variable-set comparisons are
+///    integer compares, and the copy-on-write variable list is a vector of
+///    trivially-copyable ids (copying an octagon never touches a string).
+///    String-based entry points intern (mutators) or probe without
+///    interning (readers) at the boundary.
 ///  - The variable set is dynamic: join/widen/leq unify to the common
 ///    variable set (absent variables are unconstrained).
 ///
 /// Closure discipline (who closes, who may observe unclosed values):
-///  - Strong closure (Floyd–Warshall path closure + unary strengthening +
+///  - Strong closure (pairwise path closure + unary strengthening +
 ///    emptiness check) is the canonical form; `Closed` tracks whether the
 ///    matrix is in it. All OctagonDomain operations RETURN closed values,
 ///    with one deliberate exception: `widen` results must stay unclosed to
@@ -30,10 +57,17 @@
 ///    A caller that held a *closed* value re-establishes closure in O(n²)
 ///    with `closeIncremental(x, y)` — sound because every DBM edge the
 ///    constraint tightened is incident to the doubled indices of x (and y),
-///    so pivoting Floyd–Warshall on just those ≤4 indices restores exact
+///    so running the pair pivot step for just those variables restores exact
 ///    shortest paths (Miné 2006, §4.3). Full O(n³) `close()` is reserved
 ///    for values of unknown provenance: widening iterates entering
 ///    transfer/join/leq, and batches of constraints over many variables.
+///  - `set()` is the raw escape hatch and must stay honest about the flag:
+///    any write that changes an entry clears `Closed` (a no-op write keeps
+///    it). Both directions break the canonical form — raising an entry
+///    leaves it looser than the shortest path the rest of the matrix
+///    implies, and tightening one leaves the rest of the matrix
+///    unpropagated, which can even hide ⊥ — so `Closed` survives only
+///    writes that change nothing.
 ///  - Structural edits preserve closure: `addVar` adds an unconstrained
 ///    (hence neutral) dimension, and `restrictTo`/`forgetAndRemove` close
 ///    first and then drop rows/columns of a closed matrix. `projectRawTo`
@@ -56,6 +90,8 @@
 
 #include "domain/abstract_domain.h"
 #include "domain/interval.h"
+#include "domain/symbol.h"
+#include "support/statistics.h"
 
 #include <cstdint>
 #include <memory>
@@ -64,7 +100,8 @@
 
 namespace dai {
 
-/// An octagon abstract value: ⊥, or a DBM over a sorted variable list.
+/// An octagon abstract value: ⊥, or a coherent half-matrix DBM over a
+/// variable list sorted by SymbolId.
 class Octagon {
 public:
   static constexpr int64_t kPosInf = INT64_MAX;
@@ -80,18 +117,25 @@ public:
   }
 
   bool isBottom() const { return Bottom; }
-  const std::vector<std::string> &vars() const { return varList(); }
+
+  /// The tracked dimensions, sorted ascending by SymbolId.
+  const std::vector<SymbolId> &vars() const { return varList(); }
 
   /// Number of tracked variables.
   size_t numVars() const { return varList().size(); }
 
-  /// Index of \p Var in Vars, or npos.
+  /// Index of \p Sym in vars(), or npos.
+  size_t varIndex(SymbolId Sym) const;
+  /// String convenience: probes the intern table WITHOUT interning (a name
+  /// never interned is certainly absent from every octagon).
   size_t varIndex(const std::string &Var) const;
 
-  /// Adds a dimension for \p Var (unconstrained) if absent.
-  void addVar(const std::string &Var);
+  /// Adds a dimension for \p Sym (unconstrained) if absent.
+  void addVar(SymbolId Sym);
+  void addVar(const std::string &Var) { addVar(internSymbol(Var)); }
 
-  /// Removes every constraint involving \p Var and drops its dimension.
+  /// Removes every constraint involving \p Sym and drops its dimension.
+  void forgetAndRemove(SymbolId Sym);
   void forgetAndRemove(const std::string &Var);
 
   /// Removes every constraint involving dimension \p Idx IN PLACE (the
@@ -103,22 +147,39 @@ public:
 
   /// Projects onto \p Keep (every other dimension is dropped), closing
   /// first for precision. No-op when nothing would be dropped.
-  void restrictTo(const std::vector<std::string> &Keep);
+  void restrictTo(const std::vector<SymbolId> &Keep);
 
   /// Projects onto \p Keep WITHOUT closing first (sound only where
   /// imprecision is acceptable — widening, which must not close its left
   /// argument). Preserves the Closed flag as-is.
-  void projectRawTo(const std::vector<std::string> &Keep);
+  void projectRawTo(const std::vector<SymbolId> &Keep);
 
   /// Renames variable \p From to \p To (To must be absent).
-  void rename(const std::string &From, const std::string &To);
-
-  /// Raw matrix access; I, J < 2*numVars().
-  int64_t at(size_t I, size_t J) const { return mat()[I * 2 * numVars() + J]; }
-  void set(size_t I, size_t J, int64_t V) {
-    invalidateDerived();
-    matMut()[I * 2 * numVars() + J] = V;
+  void rename(SymbolId From, SymbolId To);
+  void rename(const std::string &From, const std::string &To) {
+    rename(internSymbol(From), internSymbol(To));
   }
+
+  /// Half-matrix index algebra. matPos addresses a stored cell and requires
+  /// J ≤ (I|1); matPos2 canonicalizes an arbitrary logical pair onto its
+  /// stored representative via the coherence involution (i,j) ↦ (j̄,ī).
+  static constexpr size_t matPos(size_t I, size_t J) {
+    return J + ((I + 1) * (I + 1)) / 2;
+  }
+  static constexpr size_t matPos2(size_t I, size_t J) {
+    return J > I ? matPos(J ^ 1, I ^ 1) : matPos(I, J);
+  }
+  /// Stored cells for a doubled dimension: Dim·(Dim+2)/2 = 2n²+2n.
+  static constexpr size_t matSize(size_t Dim) { return Dim * (Dim + 2) / 2; }
+
+  /// Logical matrix read; I, J < 2*numVars(). Coherent by construction:
+  /// at(I, J) == at(J^1, I^1) address the same stored cell.
+  int64_t at(size_t I, size_t J) const { return mat()[matPos2(I, J)]; }
+
+  /// Logical matrix write, mirrored through coherence (one stored cell
+  /// backs both orientations). Clears `Closed` iff the entry changes; see
+  /// the closure-discipline notes above.
+  void set(size_t I, size_t J, int64_t V);
 
   /// Tightens with constraint  ±x ± y ≤ C  (PosX: +x else −x; likewise
   /// PosY). Pass YIdx == npos for the unary constraint ±x ≤ C.
@@ -127,7 +188,7 @@ public:
 
   /// this[i][j] := max(this[i][j], O[i][j]) over identical variable sets —
   /// the join kernel. One copy-on-write un-share for the whole sweep
-  /// (per-cell set() would pay it (2n)² times). Leaves Closed untouched;
+  /// (per-cell set() would pay it once per cell). Leaves Closed untouched;
   /// the caller asserts closedness of the result (max of closed is closed).
   void elementwiseMax(const Octagon &O);
 
@@ -136,17 +197,17 @@ public:
   /// result is marked unclosed.
   void widenWith(const Octagon &O);
 
-  /// Strong closure (Floyd–Warshall + unary strengthening); detects
-  /// emptiness and collapses to ⊥. Idempotent. O(n³).
+  /// Strong closure (pairwise Floyd–Warshall + unary strengthening);
+  /// detects emptiness and collapses to ⊥. Idempotent. O(n³).
   void close();
 
   /// Incremental strong closure after addConstraint on a value that was
-  /// strongly closed beforehand: restores closure in O(n²) by pivoting
-  /// only on the doubled indices of \p XIdx (and \p YIdx when not npos —
-  /// pass the same variable indices that were passed to addConstraint).
-  /// Produces a matrix entrywise-identical to full close(), including ⊥
-  /// detection. Precondition: the receiver was closed before the
-  /// constraint(s) on {XIdx, YIdx} were added.
+  /// strongly closed beforehand: restores closure in O(n²) by running the
+  /// pair pivot step only for \p XIdx (and \p YIdx when not npos — pass the
+  /// same variable indices that were passed to addConstraint). Produces a
+  /// matrix entrywise-identical to full close(), including ⊥ detection.
+  /// Precondition: the receiver was closed before the constraint(s) on
+  /// {XIdx, YIdx} were added.
   void closeIncremental(size_t XIdx, size_t YIdx = static_cast<size_t>(-1));
 
   bool isClosed() const { return Closed; }
@@ -158,7 +219,8 @@ public:
   /// returned reference is invalidated by any mutation of this value.
   const Octagon &closedView() const;
 
-  /// Interval of variable \p Var implied by this octagon (requires closed).
+  /// Interval of variable \p Sym implied by this octagon (requires closed).
+  Interval boundsOf(SymbolId Sym) const;
   Interval boundsOf(const std::string &Var) const;
 
   /// Structural helpers used by the domain policy.
@@ -177,15 +239,15 @@ public:
 
 private:
   /// Sorted variable list, shared copy-on-write: copying an Octagon (every
-  /// transfer does) must not reallocate n strings. Null encodes the empty
+  /// transfer does) must not reallocate the list. Null encodes the empty
   /// list; all mutations go through setVars().
-  std::shared_ptr<const std::vector<std::string>> VarsPtr;
+  std::shared_ptr<const std::vector<SymbolId>> VarsPtr;
 
-  /// The shared matrix buffer: the (2n)² row-major DBM plus everything
-  /// derived from it (cached closure, cached normalized hash). Octagon
-  /// values are copied far more often than they are mutated (DAIG cell
-  /// reads, memo stores, closed views), so the buffer is copy-on-write —
-  /// and because the derived caches live INSIDE the shared buffer, the
+  /// The shared matrix buffer: the half-matrix DBM (see matPos) plus
+  /// everything derived from it (cached closure, cached normalized hash).
+  /// Octagon values are copied far more often than they are mutated (DAIG
+  /// cell reads, memo stores, closed views), so the buffer is copy-on-write
+  /// — and because the derived caches live INSIDE the shared buffer, the
   /// first consumer to close or hash any copy fills the cache for every
   /// other sharer, including the persistent cell value it was copied from.
   struct MatBuf {
@@ -199,12 +261,12 @@ private:
   /// Null encodes the empty (zero-variable) matrix.
   std::shared_ptr<MatBuf> MPtr;
 
-  const std::vector<std::string> &varList() const {
-    static const std::vector<std::string> Empty;
+  const std::vector<SymbolId> &varList() const {
+    static const std::vector<SymbolId> Empty;
     return VarsPtr ? *VarsPtr : Empty;
   }
-  void setVars(std::vector<std::string> V) {
-    VarsPtr = std::make_shared<const std::vector<std::string>>(std::move(V));
+  void setVars(std::vector<SymbolId> V) {
+    VarsPtr = std::make_shared<const std::vector<SymbolId>>(std::move(V));
   }
 
   const std::vector<int64_t> &mat() const {
@@ -220,15 +282,13 @@ private:
     } else if (MPtr.use_count() > 1) {
       auto Fresh = std::make_shared<MatBuf>();
       Fresh->M = MPtr->M;
+      recordDbmAlloc(Fresh->M.size());
       MPtr = std::move(Fresh);
     }
     return *MPtr;
   }
   std::vector<int64_t> &matMut() { return bufMut().M; }
-  void setMat(std::vector<int64_t> V) {
-    MPtr = std::make_shared<MatBuf>();
-    MPtr->M = std::move(V);
-  }
+  void setMat(std::vector<int64_t> V);
 
   /// Prepares this value's buffer for mutation: un-shares it and drops the
   /// caches derived from the old matrix contents.
@@ -241,6 +301,11 @@ private:
   }
 
   void resizeFor(size_t NewN, const std::vector<size_t> &OldIndexOfNew);
+
+  /// One pairwise Floyd–Warshall pivot step on the doubled indices
+  /// (2·\p Var, 2·\p Var+1), sweeping all stored cells. Shared by close()
+  /// and closeIncremental().
+  void pairPivot(size_t Var, uint64_t &CellsTouched);
 
   /// Unary strengthening + emptiness check shared by close() and
   /// closeIncremental(). Returns false when the octagon collapsed to ⊥.

@@ -1,0 +1,117 @@
+//===-- domain/symbol.h - Interned dimension symbols ------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global intern table mapping variable names to dense integer
+/// SymbolIds. Abstract-domain states historically keyed dimensions by
+/// std::string, so every varIndex was a string binary search and every
+/// copied variable list reallocated n strings. Interning makes symbol
+/// equality an integer compare, turns domain-state maps into integer-keyed
+/// maps, and lets copy-on-write variable lists hold trivially-copyable ids.
+///
+/// Ids are dense (0, 1, 2, …) in first-intern order, so they double as
+/// vector indices. The table only grows — analyses run over a fixed program
+/// vocabulary plus a bounded set of internal temporaries, so unbounded
+/// growth would indicate a bug upstream (e.g., gensym'd names leaking into
+/// states; see freshSymbol's contract in octagon.cpp).
+///
+/// Single-threaded by design, like the rest of the domain layer (the
+/// closure counters in support/statistics.h are thread_local for the same
+/// reason: one analysis engine per thread, no shared mutable state).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_SYMBOL_H
+#define DAI_DOMAIN_SYMBOL_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dai {
+
+/// A dense id for an interned variable name. Ordering of ids follows
+/// first-intern order, not lexicographic order of the names; all that the
+/// domain layer requires is that the order is total and consistent across
+/// every value in the process.
+using SymbolId = uint32_t;
+
+constexpr SymbolId kNoSymbol = static_cast<SymbolId>(-1);
+
+/// The global string → SymbolId intern table.
+class SymbolTable {
+public:
+  static SymbolTable &global() {
+    static SymbolTable Table;
+    return Table;
+  }
+
+  /// Returns the id of \p Name, interning it on first sight.
+  SymbolId intern(std::string_view Name) {
+    auto It = Map.find(Name);
+    if (It != Map.end())
+      return It->second;
+    SymbolId Id = static_cast<SymbolId>(Names.size());
+    Names.emplace_back(Name);
+    Map.emplace(Names.back(), Id);
+    return Id;
+  }
+
+  /// Returns the id of \p Name if it has been interned, else kNoSymbol.
+  /// Lookups on behalf of absent-means-top reads must NOT intern: a query
+  /// for a never-assigned variable should not grow the table.
+  SymbolId lookup(std::string_view Name) const {
+    auto It = Map.find(Name);
+    return It == Map.end() ? kNoSymbol : It->second;
+  }
+
+  /// The interned spelling of \p Id. Valid for the process lifetime.
+  const std::string &name(SymbolId Id) const { return Names[Id]; }
+
+  size_t size() const { return Names.size(); }
+
+private:
+  SymbolTable() = default;
+
+  // Heterogeneous lookup so intern/lookup accept string_view without an
+  // allocation on the hit path.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+
+  /// Stable storage for the spellings: deque never relocates elements, so
+  /// the string_view keys in Map (and name() references handed out) stay
+  /// valid as the table grows.
+  std::deque<std::string> Names;
+  std::unordered_map<std::string_view, SymbolId, Hash, Eq> Map;
+};
+
+inline SymbolId internSymbol(std::string_view Name) {
+  return SymbolTable::global().intern(Name);
+}
+
+inline SymbolId lookupSymbol(std::string_view Name) {
+  return SymbolTable::global().lookup(Name);
+}
+
+inline const std::string &symbolName(SymbolId Id) {
+  return SymbolTable::global().name(Id);
+}
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_SYMBOL_H

@@ -80,7 +80,12 @@ struct ClosureCounters {
   uint64_t IncrementalCloses = 0; ///< O(n²) single-constraint re-closures.
   uint64_t ClosesSkipped = 0;     ///< close() calls on already-closed values.
   uint64_t CachedCloses = 0;      ///< Closures answered by a closedView cache.
-  uint64_t CellsTouched = 0;      ///< DBM entries tightened during closure.
+  uint64_t CellsTouched = 0;      ///< DBM cells tightened during closure.
+  uint64_t CellsStored = 0;       ///< Cumulative DBM cells allocated; the
+                                  ///< half-matrix layout shows up here as a
+                                  ///< ~2× drop vs. the dense (2n)² layout.
+  uint64_t PeakDbmBytes = 0;      ///< High-water bytes of a single DBM
+                                  ///< allocation (gauge, not a counter).
 
   void reset() { *this = ClosureCounters(); }
 
@@ -91,6 +96,12 @@ struct ClosureCounters {
     R.ClosesSkipped = ClosesSkipped - O.ClosesSkipped;
     R.CachedCloses = CachedCloses - O.CachedCloses;
     R.CellsTouched = CellsTouched - O.CellsTouched;
+    R.CellsStored = CellsStored - O.CellsStored;
+    // A gauge, not subtractable: the delta carries the later snapshot's
+    // peak, which covers the whole process history. A region that wants its
+    // OWN peak (the bench's per-size sweep does) must zero the gauge at the
+    // start of the region: `closureCounters().PeakDbmBytes = 0`.
+    R.PeakDbmBytes = PeakDbmBytes;
     return R;
   }
 };
@@ -100,7 +111,9 @@ inline std::ostream &operator<<(std::ostream &OS, const ClosureCounters &C) {
      << " incrementalCloses=" << C.IncrementalCloses
      << " closesSkipped=" << C.ClosesSkipped
      << " cachedCloses=" << C.CachedCloses
-     << " cellsTouched=" << C.CellsTouched << "}";
+     << " cellsTouched=" << C.CellsTouched
+     << " cellsStored=" << C.CellsStored
+     << " peakDbmBytes=" << C.PeakDbmBytes << "}";
   return OS;
 }
 
@@ -108,6 +121,17 @@ inline std::ostream &operator<<(std::ostream &OS, const ClosureCounters &C) {
 inline ClosureCounters &closureCounters() {
   static thread_local ClosureCounters Counters;
   return Counters;
+}
+
+/// Records a DBM matrix allocation of \p Cells entries (fresh buffers and
+/// copy-on-write clones alike): bumps CellsStored and the PeakDbmBytes
+/// high-water mark.
+inline void recordDbmAlloc(size_t Cells) {
+  ClosureCounters &C = closureCounters();
+  C.CellsStored += Cells;
+  uint64_t Bytes = static_cast<uint64_t>(Cells) * sizeof(int64_t);
+  if (Bytes > C.PeakDbmBytes)
+    C.PeakDbmBytes = Bytes;
 }
 
 } // namespace dai

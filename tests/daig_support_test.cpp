@@ -32,7 +32,7 @@ TEST(MemoTable, StoreLookupRoundTrip) {
   Name K = Name::pair(Name::fn(FnKind::Transfer), Name::valHash(0x1234));
   EXPECT_FALSE(M.lookup(K).has_value());
   ConstState V;
-  V.Env["x"] = 7;
+  V.setVar("x", 7);
   M.store(K, V);
   auto Hit = M.lookup(K);
   ASSERT_TRUE(Hit.has_value());
@@ -44,8 +44,8 @@ TEST(MemoTable, OverwriteKeepsSingleEntry) {
   MemoTable<ConstPropDomain> M;
   Name K = Name::valHash(9);
   ConstState A, B;
-  A.Env["x"] = 1;
-  B.Env["x"] = 2;
+  A.setVar("x", 1);
+  B.setVar("x", 2);
   M.store(K, A);
   M.store(K, B);
   EXPECT_EQ(M.size(), 1u);
@@ -81,7 +81,7 @@ TEST(MemoTable, StoreRefreshesRecencyAndCountsEvictions) {
   MemoTable<ConstPropDomain> M(/*MaxEntries=*/2);
   M.attachStatistics(&Stats);
   ConstState A;
-  A.Env["x"] = 1;
+  A.setVar("x", 1);
   M.store(Name::valHash(0), ConstState());
   M.store(Name::valHash(1), ConstState());
   M.store(Name::valHash(0), A); // overwrite refreshes recency of 0

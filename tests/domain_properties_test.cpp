@@ -118,7 +118,7 @@ ConstState randomConst(Rng &R) {
   ConstState S;
   unsigned N = static_cast<unsigned>(R.below(4));
   for (unsigned I = 0; I < N; ++I)
-    S.Env["v" + std::to_string(R.below(4))] = R.range(-9, 9);
+    S.setVar("v" + std::to_string(R.below(4)), R.range(-9, 9));
   return S;
 }
 
