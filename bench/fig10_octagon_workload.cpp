@@ -20,12 +20,15 @@
 /// Additionally writes machine-readable `BENCH_fig10.json` (override with
 /// `--json PATH`, disable with `--no-json`): the per-config summary plus a
 /// variable-count sweep (`--sizes 8,16,32,48`) of the incr+demand
-/// configuration reporting wall time and DBM closure counters per size —
-/// including cells stored and the peak single-matrix footprint, which track
-/// the half-matrix layout — so successive PRs can follow the perf
-/// trajectory and *why* it moved (full vs. incremental closure mix; see
-/// support/statistics.h). scripts/check_bench_regression.sh compares a
-/// fresh JSON against the committed baseline.
+/// configuration reporting wall time, DBM closure counters, and name-table
+/// intern counters per size — cells stored and the peak single-matrix
+/// footprint track the half-matrix layout; names_interned / intern_hits /
+/// name_table_bytes track the hash-consed name layer — so successive PRs
+/// can follow the perf trajectory and *why* it moved (full vs. incremental
+/// closure mix; see support/statistics.h).
+/// scripts/check_bench_regression.sh compares a fresh JSON against the
+/// committed baseline, gating on the deterministic closure-cells-touched
+/// counter.
 ///
 /// Defaults are scaled down from the paper's 3,000 edits × 9 trials so the
 /// whole suite runs in CI time; pass `--edits 3000 --trials 9` for paper
@@ -162,12 +165,17 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
 }
 
 /// One entry of the per-size sweep: the incr+demand configuration run at a
-/// given variable-pool size, with wall time and closure-counter deltas.
+/// given variable-pool size, with wall time, closure-counter deltas, and
+/// name-table intern activity (the allocation proxy for the DAIG name
+/// layer: before hash-consing, every name construction paid per-node heap
+/// allocations plus shared_ptr refcount churn; now it is InternHits table
+/// lookups against a NamesInterned-sized slab).
 struct SweepResult {
   unsigned Vars;
   double WallMs;     ///< Total wall time of the trial (incl. bookkeeping).
   double AnalysisMs; ///< Sum of per-edit analysis latencies.
   ClosureCounters Closure;
+  NameTableCounters Names;
 };
 
 SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
@@ -177,6 +185,7 @@ SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   // rather than the largest matrix any earlier phase ever allocated.
   closureCounters().PeakDbmBytes = 0;
   ClosureCounters Before = closureCounters();
+  NameTableCounters NamesBefore = nameTableCounters();
   Clock::time_point Start = Clock::now();
   std::vector<Sample> Samples =
       runTrial(Config::IncrementalAndDemand, SizeOpt, Opt.Seed);
@@ -188,6 +197,7 @@ SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   for (const Sample &S : Samples)
     R.AnalysisMs += S.Ms;
   R.Closure = closureCounters() - Before;
+  R.Names = nameTableCounters() - NamesBefore;
   return R;
 }
 
@@ -394,7 +404,8 @@ int main(int argc, char **argv) {
         "\"full_closes\": %llu, \"incremental_closes\": %llu, "
         "\"closes_skipped\": %llu, \"cached_closes\": %llu, "
         "\"dbm_cells_touched\": %llu, \"dbm_cells_stored\": %llu, "
-        "\"dbm_peak_bytes\": %llu}%s\n",
+        "\"dbm_peak_bytes\": %llu, \"names_interned\": %llu, "
+        "\"intern_hits\": %llu, \"name_table_bytes\": %llu}%s\n",
         S.Vars, S.WallMs, S.AnalysisMs,
         static_cast<unsigned long long>(S.Closure.FullCloses),
         static_cast<unsigned long long>(S.Closure.IncrementalCloses),
@@ -403,6 +414,9 @@ int main(int argc, char **argv) {
         static_cast<unsigned long long>(S.Closure.CellsTouched),
         static_cast<unsigned long long>(S.Closure.CellsStored),
         static_cast<unsigned long long>(S.Closure.PeakDbmBytes),
+        static_cast<unsigned long long>(S.Names.NamesInterned),
+        static_cast<unsigned long long>(S.Names.InternHits),
+        static_cast<unsigned long long>(S.Names.NameTableBytes),
         SI + 1 < Sweep.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");

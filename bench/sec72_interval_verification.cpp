@@ -77,8 +77,9 @@ PolicyResult verifyProgram(const corpus::CorpusProgram &P, unsigned K) {
     R.Total += Ob.Count;
     bool SeenInstance = false;
     bool AllVerified = true;
+    SymbolId ObFn = internSymbol(Ob.Fn);
     Engine.forEachInstance([&](const auto &Key, Daig<IntervalDomain> &G) {
-      if (Key.Fn != Ob.Fn)
+      if (Key.Fn != ObFn)
         return;
       SeenInstance = true;
       const CfgEdge *E = Engine.cfgOf(Ob.Fn)->findEdge(Ob.Edge);

@@ -64,7 +64,7 @@ public:
   using TransferFn = std::function<Elem(const Stmt &, const Elem &)>;
   /// Invalidation callback: fired for every cell emptied by an edit, letting
   /// the engine propagate dirtying across function DAIGs.
-  using EmptiedFn = std::function<void(const Name &)>;
+  using EmptiedFn = std::function<void(Name)>;
 
   /// Reference cell types (Fig. 6): τ ∈ {Stmt, Σ♯}.
   enum class CellType : uint8_t { StmtTy, StateTy };
@@ -139,7 +139,7 @@ public:
   }
 
   /// Low-level query by cell name (Fig. 8 semantics).
-  Elem queryState(const Name &N) {
+  Elem queryState(Name N) {
     auto It = Cells.find(N);
     assert(It != Cells.end() && "query for a name outside the DAIG");
     assert(It->second.T == CellType::StateTy && "queryState on a Stmt cell");
@@ -231,7 +231,7 @@ public:
     std::vector<Name> DirtySeeds;
     std::vector<Name> StmtCellsToDrop;
 
-    auto renameStmtSrc = [&](const Name &Old, Loc From, Loc To) -> Name {
+    auto renameStmtSrc = [&](Name Old, Loc From, Loc To) -> Name {
       // pair(a,b) → pair(a',b') with From ↦ To on the changed side; the
       // join-indexed form wraps the plain pair in pair(num i, ·).
       if (Old.kind() == Name::Kind::Pair &&
@@ -272,7 +272,7 @@ public:
         std::vector<Name> Consumers;
         if (DepIt != Dependents.end())
           Consumers.assign(DepIt->second.begin(), DepIt->second.end());
-        for (const Name &Dest : Consumers) {
+        for (Name Dest : Consumers) {
           if (Dest == NM)
             continue;
           auto CIt = CompOf.find(Dest);
@@ -319,7 +319,7 @@ public:
           addComp(NM, FnKind::Transfer, {NewStmt, C.Srcs[1]});
         } else if (C.F == FnKind::Join) {
           std::vector<Name> NewPreJoins;
-          for (const Name &PJ : C.Srcs) {
+          for (Name PJ : C.Srcs) {
             auto PJComp = CompOf.find(PJ);
             if (PJComp == CompOf.end() ||
                 PJComp->second.F != FnKind::Transfer)
@@ -346,7 +346,7 @@ public:
       }
     }
 
-    for (const Name &SC : StmtCellsToDrop)
+    for (Name SC : StmtCellsToDrop)
       if (!Dependents.count(SC) || Dependents[SC].empty())
         Cells.erase(SC);
 
@@ -356,7 +356,7 @@ public:
     assert(Info.valid() && "insertion must preserve well-formedness");
     std::set<Name> Visited;
     std::vector<Name> Work;
-    for (const Name &Seed : DirtySeeds)
+    for (Name Seed : DirtySeeds)
       Work.push_back(Seed);
     propagateDirty(Work, Visited);
     return true;
@@ -443,7 +443,7 @@ public:
           (FreshHas && !(FreshComp->second == OldComp->second)))
         Changed.push_back(N);
     }
-    for (const Name &N : Changed)
+    for (Name N : Changed)
       Fresh.dirtyDependentsOf(N);
 
     swapWith(Fresh);
@@ -479,7 +479,7 @@ public:
 
   /// Externally-driven invalidation (interprocedural engine): empties the
   /// cell named \p N (if present and non-empty) and dirties forward.
-  void invalidateCell(const Name &N) {
+  void invalidateCell(Name N) {
     auto It = Cells.find(N);
     if (It == Cells.end() || It->second.T != CellType::StateTy)
       return;
@@ -502,8 +502,8 @@ public:
     return N;
   }
 
-  bool hasCell(const Name &N) const { return Cells.count(N) != 0; }
-  bool cellHasValue(const Name &N) const {
+  bool hasCell(Name N) const { return Cells.count(N) != 0; }
+  bool cellHasValue(Name N) const {
     auto It = Cells.find(N);
     return It != Cells.end() && It->second.hasValue();
   }
@@ -607,7 +607,7 @@ private:
 
   /// Decodes a state-like name into (location, counts). Returns false for
   /// product/statement names.
-  static bool decodeState(const Name &N, Loc &L, std::vector<uint32_t> &Counts) {
+  static bool decodeState(Name N, Loc &L, std::vector<uint32_t> &Counts) {
     Counts.clear();
     Name Cur = N;
     while (Cur.valid() && Cur.kind() == Name::Kind::Iter) {
@@ -623,7 +623,7 @@ private:
 
   /// Extracts the "state part" of any cell name (pre-join and pre-widen
   /// names wrap state names). Returns false for statement cells.
-  static bool decodeCellState(const Name &N, Loc &L,
+  static bool decodeCellState(Name N, Loc &L,
                               std::vector<uint32_t> &Counts) {
     if (decodeState(N, L, Counts))
       return true;
@@ -641,29 +641,29 @@ private:
   // Structure mutation helpers
   //===--------------------------------------------------------------------===//
 
-  void addStateCell(const Name &N) {
+  void addStateCell(Name N) {
     Cells.emplace(N, Cell{CellType::StateTy, std::nullopt});
   }
 
-  void addStmtCell(const Name &N, const Stmt &S) {
+  void addStmtCell(Name N, const Stmt &S) {
     auto [It, Inserted] = Cells.emplace(
         N, Cell{CellType::StmtTy, std::variant<Stmt, Elem>(S)});
     if (!Inserted)
       It->second.V = std::variant<Stmt, Elem>(S);
   }
 
-  void addComp(const Name &Dest, FnKind F, std::vector<Name> Srcs) {
+  void addComp(Name Dest, FnKind F, std::vector<Name> Srcs) {
     removeComp(Dest);
-    for (const Name &S : Srcs)
+    for (Name S : Srcs)
       Dependents[S].insert(Dest);
     CompOf[Dest] = Comp{F, std::move(Srcs)};
   }
 
-  void removeComp(const Name &Dest) {
+  void removeComp(Name Dest) {
     auto It = CompOf.find(Dest);
     if (It == CompOf.end())
       return;
-    for (const Name &S : It->second.Srcs) {
+    for (Name S : It->second.Srcs) {
       auto DIt = Dependents.find(S);
       if (DIt != Dependents.end()) {
         DIt->second.erase(Dest);
@@ -674,7 +674,7 @@ private:
     CompOf.erase(It);
   }
 
-  void removeCell(const Name &N) {
+  void removeCell(Name N) {
     removeComp(N);
     Cells.erase(N);
     Loops.erase(N);
@@ -810,13 +810,13 @@ private:
   // Query evaluation
   //===--------------------------------------------------------------------===//
 
-  void storeValue(const Name &N, const Elem &V) {
+  void storeValue(Name N, const Elem &V) {
     auto It = Cells.find(N);
     assert(It != Cells.end() && "storing into a missing cell");
     It->second.V = std::variant<Stmt, Elem>(V);
   }
 
-  const Stmt &stmtOf(const Name &N) const {
+  const Stmt &stmtOf(Name N) const {
     auto It = Cells.find(N);
     assert(It != Cells.end() && It->second.T == CellType::StmtTy &&
            "transfer source 0 must be a statement cell");
@@ -824,7 +824,7 @@ private:
   }
 
   /// Q-Loop-Converge / Q-Loop-Unroll.
-  Elem queryFix(const Name &N) {
+  Elem queryFix(Name N) {
     for (;;) {
       Comp C = CompOf.at(N); // copy: unroll rewrites it
       Elem V1 = queryState(C.Srcs[0]);
@@ -843,7 +843,7 @@ private:
 
   /// Demanded unrolling: builds the next abstract iteration and slides the
   /// fix edge forward (the unroll helper of Section 5.2).
-  void unrollLoop(const Name &FixDest) {
+  void unrollLoop(Name FixDest) {
     LoopInstance &Inst = Loops.at(FixDest);
     CountCtx Ctx;
     for (const auto &[H, C] : Inst.Ctx)
@@ -879,7 +879,7 @@ private:
       std::vector<Elem> Ins;
       Ins.reserve(C.Srcs.size());
       Name Key = Name::fn(FnKind::Join);
-      for (const Name &S : C.Srcs) {
+      for (Name S : C.Srcs) {
         Ins.push_back(queryState(S));
         Key = Name::pair(Key, Name::valHash(D::hash(Ins.back())));
       }
@@ -926,7 +926,7 @@ private:
   // Dirtying (Fig. 9) and loop rollback
   //===--------------------------------------------------------------------===//
 
-  void dirtyDependentsOf(const Name &N) {
+  void dirtyDependentsOf(Name N) {
     std::set<Name> Visited;
     std::vector<Name> Work;
     auto DIt = Dependents.find(N);
@@ -959,14 +959,14 @@ private:
       }
       auto DIt = Dependents.find(N);
       if (DIt != Dependents.end())
-        for (const Name &Dep : DIt->second)
+        for (Name Dep : DIt->second)
           Work.push_back(Dep);
     }
   }
 
   /// If \p N is the first iterate of an unrolled loop instance, deletes the
   /// unrolled iterations (≥ 1) and resets the fix edge to (0, 1).
-  void maybeRollbackAt(const Name &N) {
+  void maybeRollbackAt(Name N) {
     Loc L;
     std::vector<uint32_t> Counts;
     if (!decodeState(N, L, Counts))
@@ -990,7 +990,7 @@ private:
   /// Deletes every cell belonging to iterations ≥ 1 of the given instance
   /// (except the first iterate itself, which is kept empty) and resets the
   /// fix computation to the initial iterates.
-  void rollbackLoop(const Name &FixDest, LoopInstance &Inst) {
+  void rollbackLoop(Name FixDest, LoopInstance &Inst) {
     Loc L = Inst.Head;
     const auto &HeadNest = Info.LoopNestOf[L];
     size_t Pos = HeadNest.size() - 1; // L's index within its own nest
@@ -1041,7 +1041,7 @@ private:
       ToDelete.push_back(N);
     }
     (void)Pos;
-    for (const Name &N : ToDelete)
+    for (Name N : ToDelete)
       removeCell(N);
 
     addComp(FixDest, FnKind::Fix, {It0, It1});
@@ -1152,7 +1152,7 @@ private:
 
   /// True when cell \p N (in \p Ref's naming) belongs to the body/iterates
   /// of loop instance \p Inst (any iteration count).
-  static bool belongsToInstance(const Daig &Ref, const Name &N,
+  static bool belongsToInstance(const Daig &Ref, Name N,
                                 const LoopInstance &Inst) {
     Loc CL;
     std::vector<uint32_t> Counts;
@@ -1181,7 +1181,7 @@ private:
   /// Copies this DAIG's unrolled iterations (≥ 1) of \p Inst into \p Fresh,
   /// including values, computations, nested instances, and the fix edge.
   /// \p OldBucket lists this DAIG's cells belonging to the instance.
-  void adoptUnrollings(Daig &Fresh, const Name &FixDest,
+  void adoptUnrollings(Daig &Fresh, Name FixDest,
                        const LoopInstance &Inst,
                        const std::vector<std::pair<Name, uint32_t>> &OldBucket) {
     for (const auto &[N, CountAtL] : OldBucket) {
@@ -1281,7 +1281,7 @@ std::string Daig<D>::checkWellFormed() const {
     auto DIt = Dependents.find(N);
     if (DIt == Dependents.end())
       continue;
-    for (const Name &Dep : DIt->second) {
+    for (Name Dep : DIt->second) {
       auto IIt = InDeg.find(Dep);
       if (IIt == InDeg.end())
         continue;
@@ -1307,7 +1307,7 @@ std::string Daig<D>::checkAiConsistency() {
       continue; // φ0 cell
     const Comp &Comp = CIt->second;
     bool AllFilled = true;
-    for (const Name &S : Comp.Srcs) {
+    for (Name S : Comp.Srcs) {
       auto SIt = Cells.find(S);
       if (SIt == Cells.end() || !SIt->second.hasValue()) {
         AllFilled = false;

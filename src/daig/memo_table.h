@@ -12,12 +12,15 @@
 /// are keyed by the function symbol and hashes of the input values — as the
 /// paper puts it, names are "hashes, essentially".
 ///
+/// Names are hash-consed (daig/name.h), so the table keys on the dense
+/// 32-bit NameId directly: probing hashes one integer instead of a name
+/// tree, and the LRU recency list holds plain ids — no back-pointers into
+/// the map's key storage to keep alive across rehashes.
+///
 /// Dropping entries is always sound (Section 2.2): eviction trades reuse for
 /// memory, so the table exposes a size cap with LRU eviction — lookups
 /// refresh recency, so hot transfer/join results survive long edit sessions
-/// that a FIFO policy would churn through. Recency is an intrusive list
-/// woven through the map (list nodes point at the map's own keys; no
-/// duplicate key storage).
+/// that a FIFO policy would churn through.
 ///
 /// Hit/miss/eviction counts are reported through an attached Statistics
 /// (attachStatistics). Attachment is the table OWNER's responsibility —
@@ -64,8 +67,8 @@ public:
 
   /// Returns the memoized result for \p Key, if present, marking the entry
   /// most-recently-used.
-  std::optional<Elem> lookup(const Name &Key) {
-    auto It = Table.find(Key);
+  std::optional<Elem> lookup(Name Key) {
+    auto It = Table.find(Key.id());
     if (It == Table.end()) {
       if (Stats)
         ++Stats->MemoMisses;
@@ -79,20 +82,20 @@ public:
 
   /// Records \p Key ↦ \p Value, evicting least-recently-used entries beyond
   /// the cap.
-  void store(const Name &Key, Elem Value) {
+  void store(Name Key, Elem Value) {
     // Find-then-assign: emplace may consume the moved argument even when
     // insertion fails, which would overwrite with a moved-from value.
-    auto It = Table.find(Key);
+    auto It = Table.find(Key.id());
     if (It != Table.end()) {
       It->second.Value = std::move(Value);
       touch(It->second.LruIt);
       return;
     }
-    It = Table.emplace(Key, Entry{std::move(Value), {}}).first;
-    Lru.push_front(&It->first); // unordered_map keys are address-stable
+    It = Table.emplace(Key.id(), Entry{std::move(Value), {}}).first;
+    Lru.push_front(Key.id());
     It->second.LruIt = Lru.begin();
     while (Table.size() > MaxEntries && !Lru.empty()) {
-      Table.erase(*Lru.back());
+      Table.erase(Lru.back());
       Lru.pop_back();
       if (Stats)
         ++Stats->MemoEvictions;
@@ -109,18 +112,29 @@ public:
 private:
   struct Entry {
     Elem Value;
-    typename std::list<const Name *>::iterator LruIt;
+    std::list<NameId>::iterator LruIt;
+  };
+
+  /// Spreads the dense, low-entropy ids across buckets (ids are sequential
+  /// intern order; identity hashing would cluster the hot tail).
+  struct IdHash {
+    size_t operator()(NameId Id) const {
+      uint64_t X = Id;
+      X *= 0x9e3779b97f4a7c15ULL;
+      X ^= X >> 32;
+      return static_cast<size_t>(X);
+    }
   };
 
   /// Moves an entry's recency node to the front (most recently used).
-  void touch(typename std::list<const Name *>::iterator It) {
+  void touch(std::list<NameId>::iterator It) {
     Lru.splice(Lru.begin(), Lru, It);
   }
 
   size_t MaxEntries;
   Statistics *Stats = nullptr;
-  std::unordered_map<Name, Entry, NameHash> Table;
-  std::list<const Name *> Lru; ///< Front = most recent; back is evicted.
+  std::unordered_map<NameId, Entry, IdHash> Table;
+  std::list<NameId> Lru; ///< Front = most recent; back is evicted.
 };
 
 } // namespace dai

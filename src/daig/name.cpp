@@ -7,6 +7,7 @@
 #include "daig/name.h"
 
 #include "support/hashing.h"
+#include "support/statistics.h"
 
 #include <cassert>
 #include <sstream>
@@ -32,161 +33,242 @@ uint64_t leafHash(Name::Kind K, uint64_t A) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// NameTable
+//===----------------------------------------------------------------------===//
+
+void NameTable::growSlots() {
+  size_t NewCap = Slots.empty() ? 4096 : Slots.size() * 2;
+  Slots.assign(NewCap, {0, kNoName});
+  SlotMask = NewCap - 1;
+  for (NameId Id = 0; Id < Nodes.size(); ++Id) {
+    size_t Idx = Nodes[Id].Hash & SlotMask;
+    while (Slots[Idx].second != kNoName)
+      Idx = (Idx + 1) & SlotMask;
+    Slots[Idx] = {Nodes[Id].Hash, Id};
+  }
+}
+
+NameId NameTable::intern(Name::Kind K, uint64_t A, NameId L, NameId R,
+                         uint64_t Hash) {
+  NameTableCounters &C = nameTableCounters();
+  if (Slots.empty())
+    growSlots();
+  // The structural hash doubles as the probe hash: it is a deterministic
+  // function of (K, A, L, R) because the children are themselves interned.
+  // Equal tuples always land in the same probe chain; hash collisions
+  // between distinct tuples are resolved by the field compare.
+  size_t Idx = Hash & SlotMask;
+  for (;;) {
+    const auto &[SlotHash, SlotId] = Slots[Idx];
+    if (SlotId == kNoName)
+      break;
+    if (SlotHash == Hash) {
+      const Node &N = Nodes[SlotId];
+      if (N.K == K && N.A == A && N.L == L && N.R == R) {
+        ++C.InternHits;
+        return SlotId;
+      }
+    }
+    Idx = (Idx + 1) & SlotMask;
+  }
+  assert(Nodes.size() < kNoName && "name table overflow");
+  NameId Id = static_cast<NameId>(Nodes.size());
+  Nodes.push_back(Node{K, A, L, R, Hash});
+  Slots[Idx] = {Hash, Id};
+  ++C.NamesInterned;
+  if ((Nodes.size() + 1) * 10 > Slots.size() * 7)
+    growSlots();
+  // Footprint gauge: the slab plus the dedup slot array.
+  C.NameTableBytes = Nodes.capacity() * sizeof(Node) +
+                     Slots.size() * sizeof(Slots[0]);
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Constructors
+//===----------------------------------------------------------------------===//
+
 Name Name::loc(Loc L) {
-  auto N = std::make_shared<NameNode>();
-  N->K = Kind::Loc;
-  N->A = L;
-  N->Hash = leafHash(Kind::Loc, L);
-  return Name(std::move(N));
+  uint64_t H = leafHash(Kind::Loc, L);
+  return Name(NameTable::global().intern(Kind::Loc, L, kNoName, kNoName, H),
+              H);
 }
 
 Name Name::fn(FnKind F) {
-  auto N = std::make_shared<NameNode>();
-  N->K = Kind::Fn;
-  N->A = static_cast<uint64_t>(F);
-  N->Hash = leafHash(Kind::Fn, N->A);
-  return Name(std::move(N));
+  // A handful of values total, each (re)built on every memo-key
+  // construction: worth a one-time cache instead of an intern probe per
+  // call.
+  struct FnNames {
+    Name N[kNumFnKinds];
+    FnNames() {
+      for (uint64_t A = 0; A < kNumFnKinds; ++A) {
+        uint64_t H = leafHash(Kind::Fn, A);
+        N[A] = Name(NameTable::global().intern(Kind::Fn, A, kNoName, kNoName,
+                                               H),
+                    H);
+      }
+    }
+  };
+  static const FnNames Cache;
+  return Cache.N[static_cast<uint64_t>(F)];
 }
 
 Name Name::num(uint64_t V) {
-  auto N = std::make_shared<NameNode>();
-  N->K = Kind::Num;
-  N->A = V;
-  N->Hash = leafHash(Kind::Num, V);
-  return Name(std::move(N));
+  uint64_t H = leafHash(Kind::Num, V);
+  return Name(NameTable::global().intern(Kind::Num, V, kNoName, kNoName, H),
+              H);
 }
 
-Name Name::valHash(uint64_t H) {
-  auto N = std::make_shared<NameNode>();
-  N->K = Kind::ValHash;
-  N->A = H;
-  N->Hash = leafHash(Kind::ValHash, H);
-  return Name(std::move(N));
+Name Name::valHash(uint64_t V) {
+  uint64_t H = leafHash(Kind::ValHash, V);
+  return Name(NameTable::global().intern(Kind::ValHash, V, kNoName, kNoName,
+                                         H),
+              H);
 }
 
 Name Name::pair(const Name &L, const Name &R) {
   assert(L.valid() && R.valid() && "pair requires valid components");
-  auto N = std::make_shared<NameNode>();
-  N->K = Kind::Pair;
-  N->L = L.Node;
-  N->R = R.Node;
-  N->Hash = hashCombine(hashCombine(0x9a17ULL, L.hash()), R.hash());
-  return Name(std::move(N));
+  uint64_t H = hashCombine(hashCombine(0x9a17ULL, L.hash()), R.hash());
+  return Name(NameTable::global().intern(Kind::Pair, 0, L.Id, R.Id, H), H);
 }
 
 Name Name::iter(const Name &Base, uint32_t Count) {
   assert(Base.valid() && "iter requires a valid base");
-  auto N = std::make_shared<NameNode>();
-  N->K = Kind::Iter;
-  N->A = Count;
-  N->L = Base.Node;
-  N->Hash = hashCombine(hashCombine(0x17e8ULL, Base.hash()), Count);
-  return Name(std::move(N));
+  uint64_t H = hashCombine(hashCombine(0x17e8ULL, Base.hash()), Count);
+  return Name(NameTable::global().intern(Kind::Iter, Count, Base.Id, kNoName,
+                                         H),
+              H);
 }
 
+//===----------------------------------------------------------------------===//
+// Accessors
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const NameTable::Node &nodeOf(NameId Id) {
+  assert(Id != kNoName && "accessor on an invalid Name");
+  return NameTable::global().node(Id);
+}
+
+} // namespace
+
 Loc Name::locId() const {
-  assert(kind() == Kind::Loc && "not a location name");
-  return static_cast<Loc>(Node->A);
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Loc && "not a location name");
+  return static_cast<Loc>(N.A);
 }
 
 FnKind Name::fnKind() const {
-  assert(kind() == Kind::Fn && "not a function-symbol name");
-  return static_cast<FnKind>(Node->A);
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Fn && "not a function-symbol name");
+  return static_cast<FnKind>(N.A);
 }
 
 uint64_t Name::numValue() const {
-  assert(kind() == Kind::Num && "not a numeric name");
-  return Node->A;
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Num && "not a numeric name");
+  return N.A;
 }
 
 uint64_t Name::hashValue() const {
-  assert(kind() == Kind::ValHash && "not a value-hash name");
-  return Node->A;
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::ValHash && "not a value-hash name");
+  return N.A;
 }
 
 Name Name::left() const {
-  assert(kind() == Kind::Pair && "not a product name");
-  return Name(Node->L);
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Pair && "not a product name");
+  return Name(N.L, NameTable::global().node(N.L).Hash);
 }
 
 Name Name::right() const {
-  assert(kind() == Kind::Pair && "not a product name");
-  return Name(Node->R);
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Pair && "not a product name");
+  return Name(N.R, NameTable::global().node(N.R).Hash);
 }
 
 Name Name::iterBase() const {
-  assert(kind() == Kind::Iter && "not an iteration name");
-  return Name(Node->L);
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Iter && "not an iteration name");
+  return Name(N.L, NameTable::global().node(N.L).Hash);
 }
 
 uint32_t Name::iterCount() const {
-  assert(kind() == Kind::Iter && "not an iteration name");
-  return static_cast<uint32_t>(Node->A);
+  const NameTable::Node &N = nodeOf(Id);
+  assert(N.K == Kind::Iter && "not an iteration name");
+  return static_cast<uint32_t>(N.A);
 }
 
-bool Name::nodeEquals(const NameNode *A, const NameNode *B) {
-  if (A == B)
-    return true;
-  if (!A || !B)
-    return false;
-  if (A->Hash != B->Hash || A->K != B->K || A->A != B->A)
-    return false;
-  return nodeEquals(A->L.get(), B->L.get()) &&
-         nodeEquals(A->R.get(), B->R.get());
-}
+//===----------------------------------------------------------------------===//
+// Ordering and printing
+//===----------------------------------------------------------------------===//
 
-int Name::nodeCompare(const NameNode *A, const NameNode *B) {
+namespace {
+
+/// Structural comparison over interned ids — the pre-interning nodeCompare
+/// verbatim, with the pointer-identity fast path replaced by id identity
+/// (hash-consing makes them equivalent: equal ids iff equal trees).
+int nodeCompare(NameId A, NameId B) {
   if (A == B)
     return 0;
-  if (!A)
+  if (A == kNoName)
     return -1;
-  if (!B)
+  if (B == kNoName)
     return 1;
-  if (A->K != B->K)
-    return A->K < B->K ? -1 : 1;
-  if (A->A != B->A)
-    return A->A < B->A ? -1 : 1;
-  if (int C = nodeCompare(A->L.get(), B->L.get()))
+  const NameTable &T = NameTable::global();
+  const NameTable::Node &NA = T.node(A);
+  const NameTable::Node &NB = T.node(B);
+  if (NA.K != NB.K)
+    return NA.K < NB.K ? -1 : 1;
+  if (NA.A != NB.A)
+    return NA.A < NB.A ? -1 : 1;
+  if (int C = nodeCompare(NA.L, NB.L))
     return C;
-  return nodeCompare(A->R.get(), B->R.get());
+  return nodeCompare(NA.R, NB.R);
 }
 
-bool Name::operator==(const Name &O) const {
-  return nodeEquals(Node.get(), O.Node.get());
-}
-
-bool Name::operator<(const Name &O) const {
-  uint64_t HA = hash(), HB = O.hash();
-  if (HA != HB)
-    return HA < HB;
-  return nodeCompare(Node.get(), O.Node.get()) < 0;
-}
-
-std::string Name::nodeToString(const NameNode *N) {
-  if (!N)
+std::string nodeToString(NameId Id) {
+  if (Id == kNoName)
     return "<invalid>";
+  const NameTable::Node &N = NameTable::global().node(Id);
   std::ostringstream OS;
-  switch (N->K) {
-  case Kind::Loc:
-    OS << "l" << N->A;
+  switch (N.K) {
+  case Name::Kind::Loc:
+    OS << "l" << N.A;
     break;
-  case Kind::Fn:
-    OS << fnKindName(static_cast<FnKind>(N->A));
+  case Name::Kind::Fn:
+    OS << fnKindName(static_cast<FnKind>(N.A));
     break;
-  case Kind::Num:
-    OS << N->A;
+  case Name::Kind::Num:
+    OS << N.A;
     break;
-  case Kind::ValHash:
-    OS << "#" << std::hex << N->A;
+  case Name::Kind::ValHash:
+    OS << "#" << std::hex << N.A;
     break;
-  case Kind::Pair:
-    OS << nodeToString(N->L.get()) << "." << nodeToString(N->R.get());
+  case Name::Kind::Pair:
+    OS << nodeToString(N.L) << "." << nodeToString(N.R);
     break;
-  case Kind::Iter:
-    OS << nodeToString(N->L.get()) << "(" << N->A << ")";
+  case Name::Kind::Iter:
+    OS << nodeToString(N.L) << "(" << N.A << ")";
+    break;
+  case Name::Kind::Invalid: // interned nodes are never Invalid
     break;
   }
   return OS.str();
 }
 
-std::string Name::toString() const { return nodeToString(Node.get()); }
+} // namespace
+
+bool Name::operator<(const Name &O) const {
+  if (Id == O.Id)
+    return false;
+  uint64_t HA = hash(), HB = O.hash();
+  if (HA != HB)
+    return HA < HB;
+  return nodeCompare(Id, O.Id) < 0;
+}
+
+std::string Name::toString() const { return nodeToString(Id); }

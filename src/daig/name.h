@@ -17,8 +17,32 @@
 /// collides: the k-th unrolling of an outer loop resets inner loops to their
 /// initial two iterates under the outer count k.
 ///
-/// Names are immutable hash-consed-style trees with precomputed hashes,
-/// structural equality, and a total order (for deterministic iteration).
+/// Names are hash-consed through a process-global NameTable: every
+/// constructor canonicalizes its node in an intern table, so each
+/// structurally distinct name exists exactly once and a Name is a
+/// trivially-copyable id wrapper (the 32-bit NameId plus the precomputed
+/// structural hash carried inline, so the equality/hash hot path of every
+/// DAIG map probe touches no table memory at all). Equality is an integer
+/// compare and nodes live in slab storage (a contiguous vector of plain
+/// structs — no shared_ptr, no per-node refcounting, no per-name heap
+/// allocation after first intern).
+///
+/// NameTable contract (lifetime / thread-safety):
+///  - The table is a process-global singleton with process lifetime; interned
+///    nodes are never freed or reused, so a NameId (and hence a Name) stays
+///    valid forever once created. Ids are dense in first-intern order.
+///  - Like SymbolTable (domain/symbol.h), the table is single-threaded by
+///    design: one analysis engine per thread with no cross-thread name
+///    construction. Concurrent intern() calls are a data race.
+///  - The table only grows, bounded by the set of structurally distinct
+///    names an analysis constructs (program shape × loop unrolling depth ×
+///    distinct value hashes); intern statistics are exposed through
+///    nameTableCounters() in support/statistics.h.
+///
+/// Name equality, the hash/structural total order, and toString are
+/// bit-identical to the structural tree semantics they replace (the
+/// name_intern_test suite drives the interned implementation in lockstep
+/// against a structural reference oracle).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,8 +52,8 @@
 #include "cfg/cfg.h"
 
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dai {
@@ -42,12 +66,27 @@ enum class FnKind : uint8_t {
   Fix,      ///< fix — demanded fixed-point marker
 };
 
+/// Number of FnKind enumerators — keep in sync with the enum (sizes the
+/// one-time Name::fn cache; fnKindName's exhaustive switch catches drift).
+inline constexpr unsigned kNumFnKinds = 4;
+
 const char *fnKindName(FnKind F);
 
-/// An immutable, structurally hashed DAIG name.
+/// A dense id for an interned name node; doubles as an index into the
+/// NameTable's slab. kNoName encodes the invalid (default-constructed) Name.
+using NameId = uint32_t;
+constexpr NameId kNoName = static_cast<NameId>(-1);
+
+/// An immutable, interned DAIG name: a trivially-copyable id into the
+/// global NameTable with O(1) equality and precomputed structural hash.
 class Name {
 public:
-  enum class Kind : uint8_t { Loc, Fn, Num, ValHash, Pair, Iter };
+  /// Invalid is the documented sentinel returned by kind() on an invalid
+  /// (default-constructed) Name — a well-defined query, unlike the other
+  /// accessors below, which require a valid receiver of the right kind.
+  /// Keep Invalid LAST: the structural total order compares the pre-existing
+  /// enumerator values.
+  enum class Kind : uint8_t { Loc, Fn, Num, ValHash, Pair, Iter, Invalid };
 
   Name() = default; ///< Invalid name; valid() is false.
 
@@ -60,9 +99,15 @@ public:
   /// wrapper; see mkStateName in the DAIG builder).
   static Name iter(const Name &Base, uint32_t Count);
 
-  bool valid() const { return Node != nullptr; }
-  Kind kind() const { return Node->K; }
-  uint64_t hash() const { return Node ? Node->Hash : 0; }
+  bool valid() const { return Id != kNoName; }
+  /// Kind of this name; Kind::Invalid for an invalid Name (well-defined —
+  /// regression-tested, since the pre-interning implementation dereferenced
+  /// a null node here).
+  Kind kind() const;
+  /// Precomputed structural hash (carried inline); 0 for an invalid Name.
+  uint64_t hash() const { return H; }
+  /// The interned id (dense, first-intern order); kNoName when invalid.
+  NameId id() const { return Id; }
 
   Loc locId() const;
   FnKind fnKind() const;
@@ -73,31 +118,79 @@ public:
   Name iterBase() const;
   uint32_t iterCount() const;
 
-  bool operator==(const Name &O) const;
-  bool operator!=(const Name &O) const { return !(*this == O); }
-  /// Total order: by hash, tie-broken structurally (deterministic).
+  /// Hash-consing makes structural equality pointer (id) equality.
+  bool operator==(const Name &O) const { return Id == O.Id; }
+  bool operator!=(const Name &O) const { return Id != O.Id; }
+  /// Total order: by hash, tie-broken structurally (deterministic, and
+  /// identical to the pre-interning structural order).
   bool operator<(const Name &O) const;
 
   std::string toString() const;
 
 private:
-  struct NameNode {
-    Kind K;
-    uint64_t A = 0; ///< Loc id / fn kind / integer / value hash / iter count.
-    std::shared_ptr<const NameNode> L, R;
-    uint64_t Hash = 0;
-  };
-  std::shared_ptr<const NameNode> Node;
+  NameId Id = kNoName;
+  uint64_t H = 0; ///< The id's structural hash, mirrored out of the table.
 
-  explicit Name(std::shared_ptr<const NameNode> N) : Node(std::move(N)) {}
-  static bool nodeEquals(const NameNode *A, const NameNode *B);
-  static int nodeCompare(const NameNode *A, const NameNode *B);
-  static std::string nodeToString(const NameNode *N);
+  Name(NameId I, uint64_t H) : Id(I), H(H) {}
+  friend class NameTable;
+};
+
+/// The process-global hash-consing table backing Name (see the file header
+/// for the lifetime/thread-safety contract).
+class NameTable {
+public:
+  /// One interned node: slab-resident plain data. L/R are child ids
+  /// (kNoName when absent); A is the leaf payload / iteration count.
+  struct Node {
+    Name::Kind K;
+    uint64_t A = 0; ///< Loc id / fn kind / integer / value hash / iter count.
+    NameId L = kNoName, R = kNoName;
+    uint64_t Hash = 0; ///< Precomputed structural hash.
+  };
+
+  static NameTable &global() {
+    static NameTable Table;
+    return Table;
+  }
+
+  /// Canonicalizes (K, A, L, R): returns the existing id when the node was
+  /// seen before, otherwise appends a node with structural hash \p Hash.
+  NameId intern(Name::Kind K, uint64_t A, NameId L, NameId R, uint64_t Hash);
+
+  /// Slab access; \p Id must be a valid id obtained from intern().
+  const Node &node(NameId Id) const { return Nodes[Id]; }
+
+  /// Number of distinct names interned so far.
+  size_t size() const { return Nodes.size(); }
+
+private:
+  NameTable() = default;
+
+  void growSlots();
+
+  /// Slab storage: contiguous, indexed by NameId. Growth may relocate the
+  /// buffer, which is safe because no caller retains a Node reference
+  /// across an intern() (node() references are read-and-drop).
+  std::vector<Node> Nodes;
+
+  /// Dedup index: open-addressing (linear probing) over (structural hash,
+  /// id) pairs, power-of-two capacity, ≤ 70% load. Interning sits on the
+  /// hot path of every query/edit, and a node-based unordered_map pays two
+  /// dependent cache misses plus a heap allocation per unique name where
+  /// this flat table pays one line per probe and none — measured as the
+  /// difference between the interned name layer beating the shared_ptr
+  /// trees and losing to them. kNoName marks an empty slot.
+  std::vector<std::pair<uint64_t, NameId>> Slots;
+  size_t SlotMask = 0;
 };
 
 struct NameHash {
   size_t operator()(const Name &N) const { return N.hash(); }
 };
+
+inline Name::Kind Name::kind() const {
+  return Id == kNoName ? Kind::Invalid : NameTable::global().node(Id).K;
+}
 
 } // namespace dai
 

@@ -466,6 +466,40 @@ void Octagon::closeIncremental(size_t XIdx, size_t YIdx) {
   Closed = true;
 }
 
+void Octagon::closeIncrementalMulti(const std::vector<size_t> &Idxs) {
+  if (Bottom)
+    return;
+  if (Closed) {
+    ++closureCounters().ClosesSkipped;
+    return;
+  }
+  if (numVars() == 0) {
+    Closed = true;
+    return;
+  }
+  // Deduplicate: pivoting a variable twice in one pass is wasted work (the
+  // second sweep finds nothing to tighten). Sorting keeps the pivot order
+  // deterministic regardless of the caller's collection order.
+  static thread_local std::vector<size_t> Pivots; // scratch, see pairPivot
+  Pivots.assign(Idxs.begin(), Idxs.end());
+  std::sort(Pivots.begin(), Pivots.end());
+  Pivots.erase(std::unique(Pivots.begin(), Pivots.end()), Pivots.end());
+  if (Pivots.empty())
+    return; // no touched variables: nothing this closure could restore
+  invalidateDerived(); // the pivot sweeps below write M directly
+  ++closureCounters().IncrementalCloses;
+  uint64_t Touched = 0;
+  for (size_t Idx : Pivots) {
+    assert(Idx < numVars() && "pivot variable out of range");
+    pairPivot(Idx, Touched);
+  }
+  bool NonEmpty = strengthenAndCheckEmpty(Touched);
+  closureCounters().CellsTouched += Touched;
+  if (!NonEmpty)
+    return;
+  Closed = true;
+}
+
 const Octagon &Octagon::closedView() const {
   if (Bottom || Closed)
     return *this;
@@ -921,8 +955,11 @@ Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
     IntervalState Refined = IntervalDomain::assume(Proj, Cond);
     if (Refined.Bottom)
       return bottom();
-    // Import refined unary bounds variable-by-variable, re-closing
-    // incrementally after each so every batch sees a closed receiver.
+    // Import every refined unary bound into the (closed) receiver first,
+    // then restore closure with ONE k-pivot sweep over the touched
+    // variables: an assume chain refining k variables pays a single
+    // O(k·n²) pass instead of k separate re-closures.
+    std::vector<size_t> TouchedIdxs;
     for (const auto &[Var, V] : Refined.Env) {
       size_t Idx = Out.varIndex(Var);
       if (Idx == npos)
@@ -936,12 +973,11 @@ Octagon OctagonDomain::assume(const Elem &In, const ExprPtr &Cond) {
         Out.addConstraint(Idx, false, npos, true, -V.Num.lo());
         Tightened = true;
       }
-      if (Tightened) {
-        Out.closeIncremental(Idx);
-        if (Out.isBottom())
-          return Out;
-      }
+      if (Tightened)
+        TouchedIdxs.push_back(Idx);
     }
+    if (!TouchedIdxs.empty())
+      Out.closeIncrementalMulti(TouchedIdxs);
     return Out;
   }
   default:

@@ -210,6 +210,21 @@ public:
   /// {XIdx, YIdx} were added.
   void closeIncremental(size_t XIdx, size_t YIdx = static_cast<size_t>(-1));
 
+  /// k-pivot batch form of closeIncremental: restores strong closure after
+  /// constraints touching the variables in \p Idxs were added to a value
+  /// that was strongly closed beforehand, in ONE pass — a pair-pivot step
+  /// per touched variable plus a single strengthening sweep, O(k·n²) for k
+  /// touched variables instead of k separate O(n²) re-closures each paying
+  /// its own strengthening and, worse, re-pivoting over already-tight rows.
+  /// Exact for the same reason the single-constraint form is: every
+  /// tightened edge is incident to the doubled indices of Idxs, so improved
+  /// paths decompose into old shortest-path segments joined at those
+  /// vertices, and one Floyd–Warshall pass over exactly that vertex set (any
+  /// order) restores all-pairs shortest paths. Entrywise-identical to full
+  /// close(), including ⊥ detection (randomized-tested).
+  /// Duplicate indices are tolerated (deduplicated internally).
+  void closeIncrementalMulti(const std::vector<size_t> &Idxs);
+
   bool isClosed() const { return Closed; }
 
   /// Read-only access to the strongly closed form of this value: returns

@@ -18,6 +18,7 @@
 #define DAI_INTERPROC_CALL_GRAPH_H
 
 #include "cfg/program.h"
+#include "domain/symbol.h"
 
 #include <map>
 #include <set>
@@ -26,11 +27,13 @@
 
 namespace dai {
 
-/// One call edge: caller function, CFG edge, callee name.
+/// One call edge: caller function, CFG edge, callee name. Endpoints are
+/// interned SymbolIds so the engine's cross-DAIG invalidation sweep
+/// (drainDirtyExits) filters edges with integer compares.
 struct CallEdge {
-  std::string Caller;
+  SymbolId Caller = kNoSymbol;
   EdgeId Edge = InvalidEdgeId;
-  std::string Callee;
+  SymbolId Callee = kNoSymbol;
 };
 
 /// Static call graph of a whole program.
@@ -56,7 +59,8 @@ inline CallGraph buildCallGraph(const Program &P) {
                    "' in '" + Name + "'";
         return CG;
       }
-      CG.Edges.push_back(CallEdge{Name, Id, E.Label.Callee});
+      CG.Edges.push_back(
+          CallEdge{internSymbol(Name), Id, internSymbol(E.Label.Callee)});
       CG.Callees[Name].insert(E.Label.Callee);
     }
   }

@@ -9,14 +9,18 @@
 /// the paper's implementation: functors for context-insensitivity and 1-/2-
 /// call-site sensitivity, Section 7.1). A context is the suffix of the call
 /// stack truncated to the most recent k call sites; call sites are
-/// identified by the hash of the call statement within the calling function
-/// (two textually identical call statements in one function share a context,
-/// a sound merge).
+/// identified by the interned SymbolId of the calling function plus the hash
+/// of the call statement within it (two textually identical call statements
+/// in one function share a context, a sound merge). Interning makes context
+/// comparison — performed on every engine-map probe — a pure integer
+/// compare; spellings are recovered from the symbol table only for display.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DAI_INTERPROC_CONTEXT_H
 #define DAI_INTERPROC_CONTEXT_H
+
+#include "domain/symbol.h"
 
 #include <cstdint>
 #include <sstream>
@@ -27,7 +31,7 @@ namespace dai {
 
 /// A call-site identifier within a known function.
 struct CallSite {
-  std::string Caller;
+  SymbolId Caller = kNoSymbol;
   uint64_t StmtHash = 0;
 
   bool operator==(const CallSite &O) const {
@@ -68,7 +72,8 @@ struct Context {
     for (size_t I = 0; I < Sites.size(); ++I) {
       if (I)
         OS << ", ";
-      OS << Sites[I].Caller << "#" << std::hex << (Sites[I].StmtHash & 0xffff);
+      OS << symbolName(Sites[I].Caller) << "#" << std::hex
+         << (Sites[I].StmtHash & 0xffff);
     }
     OS << "]";
     return OS.str();

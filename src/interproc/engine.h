@@ -49,10 +49,19 @@ class InterprocEngine {
 public:
   using Elem = typename D::Elem;
 
-  /// Identifies one analyzed (function, context) instance.
+  /// Identifies one analyzed (function, context) instance. The function is
+  /// an interned SymbolId (domain/symbol.h) and the context holds interned
+  /// call sites, so the per-context instance/consumer tables below compare
+  /// keys with integer compares only — no string traffic on engine-map
+  /// probes.
   struct InstanceKey {
-    std::string Fn;
+    SymbolId Fn = kNoSymbol;
     Context Ctx;
+
+    InstanceKey() = default;
+    InstanceKey(SymbolId Fn, Context Ctx) : Fn(Fn), Ctx(std::move(Ctx)) {}
+    InstanceKey(std::string_view FnName, Context Ctx)
+        : Fn(internSymbol(FnName)), Ctx(std::move(Ctx)) {}
 
     bool operator==(const InstanceKey &O) const {
       return Fn == O.Fn && Ctx == O.Ctx;
@@ -62,12 +71,13 @@ public:
         return Fn < O.Fn;
       return Ctx < O.Ctx;
     }
-    std::string toString() const { return Fn + Ctx.toString(); }
+    std::string toString() const { return symbolName(Fn) + Ctx.toString(); }
   };
 
   /// \p K is the call-string depth (0 = context-insensitive).
   InterprocEngine(Program Prog, std::string MainName, unsigned K = 0)
-      : Prog(std::move(Prog)), MainName(std::move(MainName)), K(K) {
+      : Prog(std::move(Prog)), MainName(std::move(MainName)),
+        MainId(internSymbol(this->MainName)), K(K) {
     Memo.attachStatistics(&Stats);
     CG = buildCallGraph(this->Prog);
     if (CG.valid() && !this->Prog.find(this->MainName))
@@ -144,21 +154,22 @@ public:
     Function *F = Prog.find(Fn);
     if (!F || !F->Body.findEdge(Id))
       return false;
+    SymbolId FnId = internSymbol(Fn);
     Stmt OldStmt = F->Body.findEdge(Id)->Label;
     bool StructureRelevant =
         NewStmt.Kind == StmtKind::Call || OldStmt.Kind == StmtKind::Call;
     for (auto &[Key, Inst] : Instances) {
-      if (Key.Fn != Fn)
+      if (Key.Fn != FnId)
         continue;
       Inst->G->applyStatementEdit(Id, NewStmt);
       Inst->FullyQueried = false;
     }
-    if (Instances.empty() || !anyInstanceOf(Fn))
+    if (Instances.empty() || !anyInstanceOf(FnId))
       F->Body.replaceStmt(Id, NewStmt); // no instance carried the CFG update
     if (StructureRelevant)
       CG = buildCallGraph(Prog); // the call graph may have changed
     if (OldStmt.Kind == StmtKind::Call)
-      dropContributionsForSite(Fn, OldStmt.hash());
+      dropContributionsForSite(FnId, OldStmt.hash());
     drainDirtyExits();
     return true;
   }
@@ -172,8 +183,9 @@ public:
     assert(F && "edit in unknown function");
     if (F->Body.findEdge(Splice.FirstNewEdge)->Label.Kind == StmtKind::Call)
       CG = buildCallGraph(Prog);
+    SymbolId FnId = internSymbol(Fn);
     for (auto &[Key, Inst] : Instances) {
-      if (Key.Fn != Fn)
+      if (Key.Fn != FnId)
         continue;
       Inst->G->applyInsertedStatement(At, Splice);
       Inst->FullyQueried = false;
@@ -185,8 +197,9 @@ public:
   /// structurally (via program().find(Fn)->Body and cfg/edits.h).
   void applyStructuralEdit(const std::string &Fn) {
     CG = buildCallGraph(Prog);
+    SymbolId FnId = internSymbol(Fn);
     for (auto &[Key, Inst] : Instances) {
-      if (Key.Fn != Fn)
+      if (Key.Fn != FnId)
         continue;
       Inst->G->rebuild();
       Inst->FullyQueried = false;
@@ -225,17 +238,19 @@ public:
 
   size_t instanceCount() const { return Instances.size(); }
 
-  InstanceKey rootKey() const { return InstanceKey{MainName, Context{}}; }
+  InstanceKey rootKey() const { return InstanceKey{MainId, Context{}}; }
 
   const Cfg *cfgOf(const std::string &Fn) const {
     const Function *F = Prog.find(Fn);
     assert(F && "unknown function");
     return &F->Body;
   }
+  const Cfg *cfgOf(SymbolId Fn) const { return cfgOf(symbolName(Fn)); }
 
 private:
   Program Prog;
   std::string MainName;
+  SymbolId MainId; ///< Interned MainName: rootKey() without a table probe.
   unsigned K;
   CallGraph CG;
   Statistics Stats;
@@ -262,7 +277,7 @@ private:
   Instance &instanceFor(const InstanceKey &Key, bool Seed) {
     auto It = Instances.find(Key);
     if (It == Instances.end()) {
-      Function *F = Prog.find(Key.Fn);
+      Function *F = Prog.find(symbolName(Key.Fn));
       assert(F && "instance for unknown function");
       auto Inst = std::make_unique<Instance>();
       Elem Entry =
@@ -274,13 +289,12 @@ private:
       Inst->G->setTransferHook([this, KeyCopy](const Stmt &S, const Elem &In) {
         return resolveCall(KeyCopy, S, In);
       });
-      Inst->G->setOnCellEmptied([this, KeyCopy](const Name &N) {
-        onCellEmptied(KeyCopy, N);
-      });
+      Inst->G->setOnCellEmptied(
+          [this, KeyCopy](Name N) { onCellEmptied(KeyCopy, N); });
       It = Instances.emplace(Key, std::move(Inst)).first;
     } else if (Seed && !It->second->Seeded) {
       It->second->Seeded = true;
-      Function *F = Prog.find(Key.Fn);
+      Function *F = Prog.find(symbolName(Key.Fn));
       It->second->G->updateEntry(D::initialEntry(F->Params));
     }
     return *It->second;
@@ -295,7 +309,7 @@ private:
     Function *Callee = Prog.find(S.Callee);
     if (!Callee) // undefined callee: havoc via the domain's default
       return D::transfer(S, In);
-    InstanceKey CalleeKey{S.Callee,
+    InstanceKey CalleeKey{internSymbol(S.Callee),
                           Caller.Ctx.extend(CallSite{Caller.Fn, S.hash()}, K)};
     Instance &CalleeInst = instanceFor(CalleeKey, /*Seed=*/false);
 
@@ -376,7 +390,7 @@ private:
     }
   }
 
-  void onCellEmptied(const InstanceKey &Key, const Name &N) {
+  void onCellEmptied(const InstanceKey &Key, Name N) {
     auto It = Instances.find(Key);
     if (It == Instances.end())
       return;
@@ -411,7 +425,7 @@ private:
         // them, and monotone entry growth guarantees convergence.
         for (const CallEdge &CE : CG.Edges) {
           if (CE.Caller != Caller.Fn || CE.Callee != Key.Fn)
-            continue;
+            continue; // interned ids: two integer compares per edge
           InstIt->second->G->invalidateEdgeOutputs(CE.Edge);
         }
       }
@@ -422,7 +436,7 @@ private:
 
   /// Drops contributions recorded for call site \p SiteHash inside \p Fn
   /// (used when the call statement itself is replaced: the site key dies).
-  void dropContributionsForSite(const std::string &Fn, uint64_t SiteHash) {
+  void dropContributionsForSite(SymbolId Fn, uint64_t SiteHash) {
     for (auto &[CalleeKey, CalleeInst] : Instances) {
       bool Removed = false;
       for (auto It = CalleeInst->Contributions.begin();
@@ -439,7 +453,7 @@ private:
     }
   }
 
-  bool anyInstanceOf(const std::string &Fn) const {
+  bool anyInstanceOf(SymbolId Fn) const {
     for (const auto &[Key, Inst] : Instances)
       if (Key.Fn == Fn)
         return true;

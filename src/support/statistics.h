@@ -123,6 +123,45 @@ inline ClosureCounters &closureCounters() {
   return Counters;
 }
 
+/// Counters for the global hash-consed NameTable (daig/name.h). Name
+/// construction sits on the hot path of every edit and query (Fig. 6 names
+/// resolve DAIG cells and memo entries), so benches report these alongside
+/// wall time: a healthy interned name layer shows InternHits ≫ NamesInterned
+/// — construction is overwhelmingly table lookups, where the pre-interning
+/// shared_ptr trees paid a heap allocation plus refcount traffic per node.
+///
+/// Process-global (not thread_local) because the NameTable itself is a
+/// process-global singleton; like it, single-threaded by design.
+struct NameTableCounters {
+  uint64_t NamesInterned = 0; ///< Distinct names created (table growth).
+  uint64_t InternHits = 0;    ///< Constructions answered by an existing node.
+  uint64_t NameTableBytes = 0; ///< Approx. resident table bytes (gauge).
+
+  void reset() { *this = NameTableCounters(); }
+
+  NameTableCounters operator-(const NameTableCounters &O) const {
+    NameTableCounters R;
+    R.NamesInterned = NamesInterned - O.NamesInterned;
+    R.InternHits = InternHits - O.InternHits;
+    // A gauge, like PeakDbmBytes: the delta reports the later snapshot's
+    // absolute footprint (the table never shrinks).
+    R.NameTableBytes = NameTableBytes;
+    return R;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const NameTableCounters &C) {
+  OS << "{namesInterned=" << C.NamesInterned << " internHits=" << C.InternHits
+     << " nameTableBytes=" << C.NameTableBytes << "}";
+  return OS;
+}
+
+/// The process's name-table counter sink (see NameTableCounters).
+inline NameTableCounters &nameTableCounters() {
+  static NameTableCounters Counters;
+  return Counters;
+}
+
 /// Records a DBM matrix allocation of \p Cells entries (fresh buffers and
 /// copy-on-write clones alike): bumps CellsStored and the PeakDbmBytes
 /// high-water mark.

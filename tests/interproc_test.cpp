@@ -210,8 +210,9 @@ TEST(Interproc, IntervalArgumentBindingKeepsArrayLengths) {
 
   // Inside readAt's context, the guarded access must be provably in bounds.
   unsigned Total = 0, Verified = 0;
+  SymbolId ReadAt = internSymbol("readAt");
   E.forEachInstance([&](const auto &Key, Daig<IntervalDomain> &G) {
-    if (Key.Fn != "readAt")
+    if (Key.Fn != ReadAt)
       return;
     for (const auto &[Id, Edge] : E.cfgOf("readAt")->edges()) {
       if (!G.info().Reachable[Edge.Src])

@@ -1,0 +1,366 @@
+//===-- tests/name_intern_test.cpp - Hash-consed Name property suite ------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Safety net for the hash-consed NameTable (daig/name.h): a structural
+/// reference oracle — the pre-interning shared_ptr tree implementation,
+/// reproduced here verbatim — is driven in lockstep with the interned Name
+/// through randomized construction sequences (leaves, pairs, iters, nested
+/// interleavings). Equality, the total order, toString, and hashes must be
+/// bit-identical to the structural semantics; interning itself must be
+/// sound (structurally equal ⇒ same id) and complete (distinct ⇒ distinct
+/// ids). Plus directed regressions: kind() on an invalid Name is the
+/// well-defined Kind::Invalid sentinel (previously a null dereference), and
+/// MemoTable LRU eviction behaves under the new NameId keys.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daig/name.h"
+
+#include "daig/memo_table.h"
+#include "domain/constprop.h"
+#include "support/hashing.h"
+#include "support/rng.h"
+#include "support/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+using namespace dai;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Structural reference oracle: the pre-interning Name, shared_ptr trees with
+// recursive structural equality/order — semantics the interned class must
+// reproduce exactly.
+//===----------------------------------------------------------------------===//
+
+class RefName {
+public:
+  using Kind = Name::Kind;
+
+  RefName() = default;
+
+  static RefName loc(Loc L) { return leaf(Kind::Loc, L); }
+  static RefName fn(FnKind F) {
+    return leaf(Kind::Fn, static_cast<uint64_t>(F));
+  }
+  static RefName num(uint64_t N) { return leaf(Kind::Num, N); }
+  static RefName valHash(uint64_t H) { return leaf(Kind::ValHash, H); }
+  static RefName pair(const RefName &L, const RefName &R) {
+    auto N = std::make_shared<Node>();
+    N->K = Kind::Pair;
+    N->L = L.Ptr;
+    N->R = R.Ptr;
+    N->Hash = hashCombine(hashCombine(0x9a17ULL, L.hash()), R.hash());
+    return RefName(std::move(N));
+  }
+  static RefName iter(const RefName &Base, uint32_t Count) {
+    auto N = std::make_shared<Node>();
+    N->K = Kind::Iter;
+    N->A = Count;
+    N->L = Base.Ptr;
+    N->Hash = hashCombine(hashCombine(0x17e8ULL, Base.hash()), Count);
+    return RefName(std::move(N));
+  }
+
+  bool valid() const { return Ptr != nullptr; }
+  uint64_t hash() const { return Ptr ? Ptr->Hash : 0; }
+
+  bool operator==(const RefName &O) const {
+    return nodeEquals(Ptr.get(), O.Ptr.get());
+  }
+  bool operator<(const RefName &O) const {
+    uint64_t HA = hash(), HB = O.hash();
+    if (HA != HB)
+      return HA < HB;
+    return nodeCompare(Ptr.get(), O.Ptr.get()) < 0;
+  }
+
+  std::string toString() const { return nodeToString(Ptr.get()); }
+
+private:
+  struct Node {
+    Kind K;
+    uint64_t A = 0;
+    std::shared_ptr<const Node> L, R;
+    uint64_t Hash = 0;
+  };
+  std::shared_ptr<const Node> Ptr;
+
+  explicit RefName(std::shared_ptr<const Node> N) : Ptr(std::move(N)) {}
+
+  static RefName leaf(Kind K, uint64_t A) {
+    auto N = std::make_shared<Node>();
+    N->K = K;
+    N->A = A;
+    N->Hash = hashValues(static_cast<uint64_t>(K) + 0x51ULL, A);
+    return RefName(std::move(N));
+  }
+
+  static bool nodeEquals(const Node *A, const Node *B) {
+    if (A == B)
+      return true;
+    if (!A || !B)
+      return false;
+    if (A->Hash != B->Hash || A->K != B->K || A->A != B->A)
+      return false;
+    return nodeEquals(A->L.get(), B->L.get()) &&
+           nodeEquals(A->R.get(), B->R.get());
+  }
+
+  static int nodeCompare(const Node *A, const Node *B) {
+    if (A == B)
+      return 0;
+    if (!A)
+      return -1;
+    if (!B)
+      return 1;
+    if (A->K != B->K)
+      return A->K < B->K ? -1 : 1;
+    if (A->A != B->A)
+      return A->A < B->A ? -1 : 1;
+    if (int C = nodeCompare(A->L.get(), B->L.get()))
+      return C;
+    return nodeCompare(A->R.get(), B->R.get());
+  }
+
+  static std::string nodeToString(const Node *N) {
+    if (!N)
+      return "<invalid>";
+    std::ostringstream OS;
+    switch (N->K) {
+    case Kind::Loc:
+      OS << "l" << N->A;
+      break;
+    case Kind::Fn:
+      OS << fnKindName(static_cast<FnKind>(N->A));
+      break;
+    case Kind::Num:
+      OS << N->A;
+      break;
+    case Kind::ValHash:
+      OS << "#" << std::hex << N->A;
+      break;
+    case Kind::Pair:
+      OS << nodeToString(N->L.get()) << "." << nodeToString(N->R.get());
+      break;
+    case Kind::Iter:
+      OS << nodeToString(N->L.get()) << "(" << N->A << ")";
+      break;
+    case Kind::Invalid:
+      break; // the oracle never builds Invalid nodes
+    }
+    return OS.str();
+  }
+};
+
+/// One lockstep-constructed pair of names.
+struct Pair {
+  Name N;
+  RefName R;
+};
+
+/// Builds a random name through BOTH implementations with the identical
+/// construction sequence, reusing earlier names as pair/iter children so
+/// interleaved nesting (pairs of iters of pairs …) and cross-tree sharing
+/// both occur.
+Pair randomName(Rng &Rng, std::vector<Pair> &Pool) {
+  uint64_t Roll = Rng.below(100);
+  if (Pool.size() >= 2 && Roll < 30) {
+    const Pair &L = Pool[Rng.below(Pool.size())];
+    const Pair &R = Pool[Rng.below(Pool.size())];
+    return Pair{Name::pair(L.N, R.N), RefName::pair(L.R, R.R)};
+  }
+  if (!Pool.empty() && Roll < 55) {
+    const Pair &B = Pool[Rng.below(Pool.size())];
+    uint32_t Count = static_cast<uint32_t>(Rng.below(4));
+    return Pair{Name::iter(B.N, Count), RefName::iter(B.R, Count)};
+  }
+  // Leaves draw from small pools so collisions (re-interning) are common.
+  switch (Rng.below(4)) {
+  case 0: {
+    Loc L = static_cast<Loc>(Rng.below(6));
+    return Pair{Name::loc(L), RefName::loc(L)};
+  }
+  case 1: {
+    FnKind F = static_cast<FnKind>(Rng.below(4));
+    return Pair{Name::fn(F), RefName::fn(F)};
+  }
+  case 2: {
+    uint64_t V = Rng.below(5);
+    return Pair{Name::num(V), RefName::num(V)};
+  }
+  default: {
+    uint64_t H = Rng.below(7) * 0x9e3779b9ULL;
+    return Pair{Name::valHash(H), RefName::valHash(H)};
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The lockstep property suite
+//===----------------------------------------------------------------------===//
+
+TEST(NameIntern, LockstepEqualityOrderToStringHash) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Rng R(Seed);
+    std::vector<Pair> Pool;
+    for (unsigned Step = 0; Step < 120; ++Step)
+      Pool.push_back(randomName(R, Pool));
+
+    for (const Pair &P : Pool) {
+      EXPECT_EQ(P.N.hash(), P.R.hash()) << P.R.toString();
+      EXPECT_EQ(P.N.toString(), P.R.toString());
+      EXPECT_TRUE(P.N.valid());
+    }
+    for (size_t I = 0; I < Pool.size(); ++I) {
+      for (size_t J = 0; J < Pool.size(); ++J) {
+        const Pair &A = Pool[I], &B = Pool[J];
+        bool RefEq = A.R == B.R;
+        EXPECT_EQ(A.N == B.N, RefEq)
+            << A.R.toString() << " vs " << B.R.toString();
+        // Hash-consing: structural equality ⟺ id equality.
+        EXPECT_EQ(A.N.id() == B.N.id(), RefEq);
+        EXPECT_EQ(A.N < B.N, A.R < B.R)
+            << A.R.toString() << " vs " << B.R.toString();
+      }
+    }
+  }
+}
+
+TEST(NameIntern, TotalOrderIsStrictWeak) {
+  Rng R(99);
+  std::vector<Pair> Pool;
+  for (unsigned Step = 0; Step < 60; ++Step)
+    Pool.push_back(randomName(R, Pool));
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    EXPECT_FALSE(Pool[I].N < Pool[I].N) << "irreflexive";
+    for (size_t J = 0; J < Pool.size(); ++J) {
+      bool AB = Pool[I].N < Pool[J].N;
+      bool BA = Pool[J].N < Pool[I].N;
+      if (Pool[I].N == Pool[J].N)
+        EXPECT_TRUE(!AB && !BA) << "equal names are unordered";
+      else
+        EXPECT_NE(AB, BA) << "distinct names are strictly ordered";
+    }
+  }
+}
+
+TEST(NameIntern, HashStableAcrossInterleavedNesting) {
+  // The same structure reached through different construction orders (and
+  // at different times) must be the same id with the same hash.
+  Name A1 = Name::iter(Name::pair(Name::loc(3), Name::num(1)), 2);
+  Name Deep = Name::pair(A1, Name::iter(A1, 0));
+  // Rebuild from scratch, children first in a different order.
+  Name NumFirst = Name::num(1);
+  Name LocSecond = Name::loc(3);
+  Name A2 = Name::iter(Name::pair(LocSecond, NumFirst), 2);
+  Name Deep2 = Name::pair(A2, Name::iter(A2, 0));
+  EXPECT_EQ(A1.id(), A2.id());
+  EXPECT_EQ(Deep.id(), Deep2.id());
+  EXPECT_EQ(Deep.hash(), Deep2.hash());
+  EXPECT_EQ(Deep, Deep2);
+  EXPECT_EQ(Deep.toString(), "l3.1(2).l3.1(2)(0)");
+}
+
+TEST(NameIntern, AccessorsRoundTrip) {
+  Name L = Name::loc(7);
+  EXPECT_EQ(L.kind(), Name::Kind::Loc);
+  EXPECT_EQ(L.locId(), 7u);
+  Name F = Name::fn(FnKind::Widen);
+  EXPECT_EQ(F.kind(), Name::Kind::Fn);
+  EXPECT_EQ(F.fnKind(), FnKind::Widen);
+  Name N = Name::num(42);
+  EXPECT_EQ(N.numValue(), 42u);
+  Name V = Name::valHash(0xdead);
+  EXPECT_EQ(V.hashValue(), 0xdeadu);
+  Name P = Name::pair(L, N);
+  EXPECT_EQ(P.kind(), Name::Kind::Pair);
+  EXPECT_EQ(P.left(), L);
+  EXPECT_EQ(P.right(), N);
+  Name I = Name::iter(P, 3);
+  EXPECT_EQ(I.kind(), Name::Kind::Iter);
+  EXPECT_EQ(I.iterBase(), P);
+  EXPECT_EQ(I.iterCount(), 3u);
+}
+
+/// Regression: the pre-interning kind() dereferenced a null node on a
+/// default-constructed Name (undefined behavior); it now returns the
+/// documented Kind::Invalid sentinel, and the other invalid-name queries
+/// stay well-defined too.
+TEST(NameIntern, InvalidNameIsWellDefined) {
+  Name Invalid;
+  EXPECT_FALSE(Invalid.valid());
+  EXPECT_EQ(Invalid.kind(), Name::Kind::Invalid);
+  EXPECT_EQ(Invalid.hash(), 0u);
+  EXPECT_EQ(Invalid.id(), kNoName);
+  EXPECT_EQ(Invalid.toString(), "<invalid>");
+  EXPECT_EQ(Invalid, Name());
+  // The structural order puts the invalid name below every valid one
+  // whenever hashes tie (and hash 0 ties with nothing in practice).
+  Name SomeName = Name::loc(0);
+  EXPECT_NE(Invalid, SomeName);
+  EXPECT_TRUE(Invalid < SomeName || SomeName < Invalid) << "still ordered";
+}
+
+TEST(NameIntern, CountersTrackHitsAndGrowth) {
+  NameTableCounters Before = nameTableCounters();
+  // A fresh, never-before-interned leaf (value chosen to be unique to this
+  // test) grows the table; re-constructing it is a hit.
+  Name A = Name::valHash(0x5eedf00d12345678ULL);
+  NameTableCounters AfterNew = nameTableCounters();
+  EXPECT_EQ(AfterNew.NamesInterned, Before.NamesInterned + 1);
+  Name B = Name::valHash(0x5eedf00d12345678ULL);
+  NameTableCounters AfterHit = nameTableCounters();
+  EXPECT_EQ(AfterHit.NamesInterned, AfterNew.NamesInterned);
+  EXPECT_EQ(AfterHit.InternHits, AfterNew.InternHits + 1);
+  EXPECT_EQ(A.id(), B.id());
+  EXPECT_GT(AfterHit.NameTableBytes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// MemoTable under NameId keys
+//===----------------------------------------------------------------------===//
+
+TEST(NameIntern, MemoTableLruEvictionUnderIdKeys) {
+  Statistics Stats;
+  MemoTable<ConstPropDomain> M(/*MaxEntries=*/3);
+  M.attachStatistics(&Stats);
+  // Structurally rich keys (not just leaves): separately constructed but
+  // structurally equal names must alias the same entry via the same id.
+  auto key = [](uint64_t I) {
+    return Name::pair(Name::fn(FnKind::Transfer),
+                      Name::pair(Name::valHash(I), Name::num(I % 3)));
+  };
+  for (uint64_t I = 0; I < 5; ++I) {
+    ConstState V;
+    V.setVar("x", static_cast<int64_t>(I));
+    M.store(key(I), V);
+  }
+  EXPECT_EQ(M.size(), 3u);
+  // Insertion order was recency order: 0 and 1 were evicted.
+  EXPECT_FALSE(M.lookup(key(0)).has_value());
+  EXPECT_FALSE(M.lookup(key(1)).has_value());
+  ASSERT_TRUE(M.lookup(key(4)).has_value());
+  EXPECT_EQ(M.lookup(key(4))->get("x"), std::optional<int64_t>(4));
+  EXPECT_EQ(Stats.MemoEvictions, 2u);
+
+  // Touch the oldest survivor; the next store must evict key(3) instead.
+  EXPECT_TRUE(M.lookup(key(2)).has_value());
+  ConstState V5;
+  V5.setVar("x", 5);
+  M.store(key(5), V5);
+  EXPECT_TRUE(M.lookup(key(2)).has_value()) << "touched: survives";
+  EXPECT_FALSE(M.lookup(key(3)).has_value()) << "LRU under id keys: evicted";
+  EXPECT_EQ(M.lookup(key(5))->get("x"), std::optional<int64_t>(5));
+}
+
+} // namespace

@@ -152,6 +152,68 @@ TEST(OctagonIncrementalClosure, PairedConstraintsMatchFullClosure) {
   }
 }
 
+/// Batch form: k variables touched by a pile of random constraints, then a
+/// single closeIncrementalMulti over the touched set must agree entrywise
+/// with a full re-closure — the assume-chain pattern (one O(k·n²) pass).
+TEST(OctagonIncrementalClosure, MultiPivotBatchesMatchFullClosure) {
+  for (uint64_t Seed = 200; Seed < 220; ++Seed) {
+    Rng R(Seed);
+    size_t NumVars = 2 + R.below(6); // 2..7 variables
+    Octagon Current = freshOctagon(NumVars);
+    Current.close();
+    for (unsigned Step = 0; Step < 25; ++Step) {
+      unsigned BatchSize = 1 + static_cast<unsigned>(R.below(5));
+      Octagon Full = Current, Incr = Current;
+      std::vector<size_t> Touched;
+      for (unsigned B = 0; B < BatchSize; ++B) {
+        RandomConstraint RC = randomConstraint(R, NumVars);
+        Full.addConstraint(RC.X, RC.PosX, RC.Y, RC.PosY, RC.C);
+        Incr.addConstraint(RC.X, RC.PosX, RC.Y, RC.PosY, RC.C);
+        Touched.push_back(RC.X); // duplicates exercised deliberately
+        if (RC.Y != npos)
+          Touched.push_back(RC.Y);
+      }
+      Full.close();
+      Incr.closeIncrementalMulti(Touched);
+      std::string Diff = diffOctagons(Full, Incr);
+      ASSERT_EQ(Diff, "") << "seed " << Seed << " step " << Step
+                          << " batch of " << BatchSize << ": " << Diff;
+      if (Incr.isBottom()) {
+        Current = freshOctagon(NumVars);
+        Current.close();
+      } else {
+        Current = Incr;
+      }
+    }
+  }
+}
+
+TEST(OctagonIncrementalClosure, MultiPivotCountsOneIncrementalClose) {
+  Octagon O = freshOctagon(4);
+  O.close();
+  O.addConstraint(0, true, npos, true, 5);
+  O.addConstraint(1, true, npos, true, 7);
+  O.addConstraint(2, false, 3, true, 1);
+  ClosureCounters Before = closureCounters();
+  O.closeIncrementalMulti({0, 1, 2, 3});
+  ClosureCounters Delta = closureCounters() - Before;
+  EXPECT_EQ(Delta.IncrementalCloses, 1u) << "one batch = one re-closure";
+  EXPECT_EQ(Delta.FullCloses, 0u);
+  EXPECT_TRUE(O.isClosed());
+}
+
+TEST(OctagonIncrementalClosure, MultiPivotDetectsBottom) {
+  Octagon O = freshOctagon(3);
+  O.close();
+  // x ≤ 1 and −x ≤ −4 (x ≥ 4): contradictory unary band on one variable,
+  // plus an unrelated constraint on another.
+  O.addConstraint(0, true, npos, true, 1);
+  O.addConstraint(0, false, npos, true, -4);
+  O.addConstraint(1, true, 2, false, 3);
+  O.closeIncrementalMulti({0, 1, 2});
+  EXPECT_TRUE(O.isBottom());
+}
+
 TEST(OctagonIncrementalClosure, UnaryContradictionIsBottom) {
   Octagon O = freshOctagon(2);
   O.close();
