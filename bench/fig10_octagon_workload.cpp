@@ -26,9 +26,19 @@
 /// name_table_bytes track the hash-consed name layer — so successive PRs
 /// can follow the perf trajectory and *why* it moved (full vs. incremental
 /// closure mix; see support/statistics.h).
+///
+/// The relational domain is an axis: `--domain octagon|zone|both` (default
+/// both for the sweep; the Fig. 10 config table itself runs the octagon
+/// unless `--domain zone`). The sweep emits one sizes-entry per (domain,
+/// size) pair: octagon entries carry the dense-DBM counters (cells touched
+/// ~n² per sweep size on this mostly-⊤ workload), zone entries carry the
+/// sparse-graph counters (edges stored, potential repairs, closure vertices
+/// visited) — the headline claim being that zone closure work tracks the
+/// number of LIVE constraints and grows sub-quadratically in the variable
+/// pool where the octagon's cells touched cannot.
 /// scripts/check_bench_regression.sh compares a fresh JSON against the
 /// committed baseline, gating on the deterministic closure-cells-touched
-/// counter.
+/// (octagon) and closure-vertices-visited (zone) counters.
 ///
 /// Defaults are scaled down from the paper's 3,000 edits × 9 trials so the
 /// whole suite runs in CI time; pass `--edits 3000 --trials 9` for paper
@@ -39,6 +49,7 @@
 
 #include "analysis/batch_interpreter.h"
 #include "domain/octagon.h"
+#include "domain/zone.h"
 #include "interproc/engine.h"
 #include "support/statistics.h"
 #include "workload/generator.h"
@@ -80,6 +91,8 @@ struct Sample {
   double Ms;
 };
 
+enum class DomainChoice { Octagon, Zone, Both };
+
 struct Options {
   unsigned Edits = 250;
   unsigned Trials = 3;
@@ -88,12 +101,14 @@ struct Options {
   unsigned Vars = 12; ///< Variable pool (octagon closure is O((2v)^3)).
   unsigned ScatterPoints = 120; ///< Downsampling budget per config.
   bool RunBatch = true;
+  DomainChoice Domain = DomainChoice::Both; ///< Sweep axis; table runs one.
   std::string JsonPath = "BENCH_fig10.json"; ///< Empty disables JSON.
   std::vector<unsigned> SweepSizes = {8, 16, 32, 48};
 };
 
-/// Runs one trial of one configuration; every configuration sees the
-/// identical (seeded) edit and query sequence.
+/// Runs one trial of one configuration over domain \p D; every
+/// configuration sees the identical (seeded) edit and query sequence.
+template <typename D>
 std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
   WorkloadOptions WOpts;
   WOpts.Seed = Seed;
@@ -106,14 +121,14 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
   Samples.reserve(Opt.Edits);
 
   // Persistent engine for the three demanded configurations.
-  std::unique_ptr<InterprocEngine<OctagonDomain>> Engine;
+  std::unique_ptr<InterprocEngine<D>> Engine;
   // Program evolved locally for the batch configuration.
   Program BatchProgram;
   if (C == Config::Batch)
     BatchProgram = Initial;
   else
-    Engine = std::make_unique<InterprocEngine<OctagonDomain>>(
-        std::move(Initial), "main", /*K=*/0);
+    Engine = std::make_unique<InterprocEngine<D>>(std::move(Initial), "main",
+                                                  /*K=*/0);
 
   for (unsigned EditIdx = 0; EditIdx < Opt.Edits; ++EditIdx) {
     Program &Current =
@@ -127,7 +142,7 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
     switch (C) {
     case Config::Batch: {
       // Classical whole-program analysis from scratch on every edit.
-      InterprocEngine<OctagonDomain> Fresh(Current, "main", 0);
+      InterprocEngine<D> Fresh(Current, "main", 0);
       Fresh.analyzeAllFromMain();
       for (Loc Q : Queries)
         (void)Fresh.queryMain(Q);
@@ -165,19 +180,20 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
 }
 
 /// One entry of the per-size sweep: the incr+demand configuration run at a
-/// given variable-pool size, with wall time, closure-counter deltas, and
-/// name-table intern activity (the allocation proxy for the DAIG name
-/// layer: before hash-consing, every name construction paid per-node heap
-/// allocations plus shared_ptr refcount churn; now it is InternHits table
-/// lookups against a NamesInterned-sized slab).
+/// given variable-pool size over one relational domain, with wall time,
+/// closure-counter deltas (dense DBM counters for the octagon, sparse graph
+/// counters for the zone), and name-table intern activity.
 struct SweepResult {
+  const char *Domain;
   unsigned Vars;
   double WallMs;     ///< Total wall time of the trial (incl. bookkeeping).
   double AnalysisMs; ///< Sum of per-edit analysis latencies.
   ClosureCounters Closure;
+  ZoneCounters Zone;
   NameTableCounters Names;
 };
 
+template <typename D>
 SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   Options SizeOpt = Opt;
   SizeOpt.Vars = Vars;
@@ -185,18 +201,21 @@ SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   // rather than the largest matrix any earlier phase ever allocated.
   closureCounters().PeakDbmBytes = 0;
   ClosureCounters Before = closureCounters();
+  ZoneCounters ZoneBefore = zoneCounters();
   NameTableCounters NamesBefore = nameTableCounters();
   Clock::time_point Start = Clock::now();
   std::vector<Sample> Samples =
-      runTrial(Config::IncrementalAndDemand, SizeOpt, Opt.Seed);
+      runTrial<D>(Config::IncrementalAndDemand, SizeOpt, Opt.Seed);
   double WallMs = msSince(Start);
   SweepResult R;
+  R.Domain = D::name();
   R.Vars = Vars;
   R.WallMs = WallMs;
   R.AnalysisMs = 0;
   for (const Sample &S : Samples)
     R.AnalysisMs += S.Ms;
   R.Closure = closureCounters() - Before;
+  R.Zone = zoneCounters() - ZoneBefore;
   R.Names = nameTableCounters() - NamesBefore;
   return R;
 }
@@ -209,6 +228,28 @@ double percentile(std::vector<double> Sorted, double P) {
   size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
   double Frac = Idx - static_cast<double>(Lo);
   return Sorted[Lo] * (1 - Frac) + Sorted[Hi] * Frac;
+}
+
+struct ConfigResult {
+  Config C;
+  std::vector<Sample> AllSamples;
+};
+
+/// The Fig. 10 configuration table over one domain.
+template <typename D>
+std::vector<ConfigResult> runConfigs(const std::vector<Config> &Configs,
+                                     const Options &Opt) {
+  std::vector<ConfigResult> Results;
+  for (Config C : Configs) {
+    ConfigResult R{C, {}};
+    for (unsigned Trial = 0; Trial < Opt.Trials; ++Trial) {
+      std::vector<Sample> S = runTrial<D>(C, Opt, Opt.Seed + Trial);
+      R.AllSamples.insert(R.AllSamples.end(), S.begin(), S.end());
+    }
+    Results.push_back(std::move(R));
+    std::fprintf(stderr, "finished %s (%s)\n", configName(C), D::name());
+  }
+  return Results;
 }
 
 } // namespace
@@ -235,7 +276,23 @@ int main(int argc, char **argv) {
       Opt.Vars = static_cast<unsigned>(next("--vars"));
     else if (!std::strcmp(argv[I], "--no-batch"))
       Opt.RunBatch = false;
-    else if (!std::strcmp(argv[I], "--json")) {
+    else if (!std::strcmp(argv[I], "--domain")) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --domain\n");
+        return 1;
+      }
+      const char *V = argv[++I];
+      if (!std::strcmp(V, "octagon"))
+        Opt.Domain = DomainChoice::Octagon;
+      else if (!std::strcmp(V, "zone"))
+        Opt.Domain = DomainChoice::Zone;
+      else if (!std::strcmp(V, "both"))
+        Opt.Domain = DomainChoice::Both;
+      else {
+        std::fprintf(stderr, "--domain must be octagon, zone, or both\n");
+        return 1;
+      }
+    } else if (!std::strcmp(argv[I], "--json")) {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "missing value for --json\n");
         return 1;
@@ -262,17 +319,22 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--edits N] [--trials N] [--queries N] "
-                   "[--seed S] [--vars N] [--no-batch] [--json PATH] "
+                   "[--seed S] [--vars N] [--no-batch] "
+                   "[--domain octagon|zone|both] [--json PATH] "
                    "[--no-json] [--sizes N,N,...]\n",
                    argv[0]);
       return 1;
     }
   }
 
-  std::printf("# Fig. 10 reproduction: octagon domain, %u edits x %u trials, "
+  // The Fig. 10 config table reproduces the PAPER's study, which is an
+  // octagon study — it runs the zone instead only on explicit request.
+  // --domain both (the default) affects the per-size SWEEP below.
+  const bool TableIsZone = Opt.Domain == DomainChoice::Zone;
+  std::printf("# Fig. 10 reproduction: %s domain, %u edits x %u trials, "
               "%u queries between edits, seed %llu\n",
-              Opt.Edits, Opt.Trials, Opt.Queries,
-              static_cast<unsigned long long>(Opt.Seed));
+              TableIsZone ? "zone" : "octagon", Opt.Edits, Opt.Trials,
+              Opt.Queries, static_cast<unsigned long long>(Opt.Seed));
   std::printf("# Edit mix: 85%% statement / 10%% if / 5%% while insertions "
               "(Section 7.3)\n\n");
 
@@ -283,21 +345,9 @@ int main(int argc, char **argv) {
   Configs.push_back(Config::DemandDriven);
   Configs.push_back(Config::IncrementalAndDemand);
 
-  struct ConfigResult {
-    Config C;
-    std::vector<Sample> AllSamples;
-  };
-  std::vector<ConfigResult> Results;
-
-  for (Config C : Configs) {
-    ConfigResult R{C, {}};
-    for (unsigned Trial = 0; Trial < Opt.Trials; ++Trial) {
-      std::vector<Sample> S = runTrial(C, Opt, Opt.Seed + Trial);
-      R.AllSamples.insert(R.AllSamples.end(), S.begin(), S.end());
-    }
-    Results.push_back(std::move(R));
-    std::fprintf(stderr, "finished %s\n", configName(C));
-  }
+  std::vector<ConfigResult> Results =
+      TableIsZone ? runConfigs<ZoneDomain>(Configs, Opt)
+                  : runConfigs<OctagonDomain>(Configs, Opt);
 
   // Scatter series (Fig. 10's four per-configuration plots).
   for (const ConfigResult &R : Results) {
@@ -354,13 +404,22 @@ int main(int argc, char **argv) {
   if (Opt.JsonPath.empty())
     return 0;
 
-  // Per-size sweep of the incr+demand configuration: the perf trajectory
-  // that future PRs regress against, with the closure mix explaining it.
+  // Per-size sweep of the incr+demand configuration, per domain: the perf
+  // trajectory that future PRs regress against, with the closure mix
+  // explaining it. The identical seeded workload runs through both domains,
+  // so the counters are directly comparable per size.
   std::vector<SweepResult> Sweep;
   for (unsigned V : Opt.SweepSizes) {
-    Sweep.push_back(runSweepPoint(Opt, V));
-    std::fprintf(stderr, "sweep vars=%u done (%.1f ms)\n", V,
-                 Sweep.back().WallMs);
+    if (Opt.Domain != DomainChoice::Zone) {
+      Sweep.push_back(runSweepPoint<OctagonDomain>(Opt, V));
+      std::fprintf(stderr, "sweep octagon vars=%u done (%.1f ms)\n", V,
+                   Sweep.back().WallMs);
+    }
+    if (Opt.Domain != DomainChoice::Octagon) {
+      Sweep.push_back(runSweepPoint<ZoneDomain>(Opt, V));
+      std::fprintf(stderr, "sweep zone vars=%u done (%.1f ms)\n", V,
+                   Sweep.back().WallMs);
+    }
   }
 
   FILE *F = std::fopen(Opt.JsonPath.c_str(), "w");
@@ -398,9 +457,40 @@ int main(int argc, char **argv) {
   std::fprintf(F, "  \"sizes\": [\n");
   for (size_t SI = 0; SI < Sweep.size(); ++SI) {
     const SweepResult &S = Sweep[SI];
+    const char *Sep = SI + 1 < Sweep.size() ? "," : "";
+    if (std::strcmp(S.Domain, "zone") == 0) {
+      // Sparse-graph counters: closure_vertices_visited is the zone's
+      // deterministic gate metric (the analogue of dbm_cells_touched).
+      std::fprintf(
+          F,
+          "    {\"domain\": \"zone\", \"vars\": %u, \"wall_ms\": %.3f, "
+          "\"analysis_ms\": %.3f, \"zone_full_closes\": %llu, "
+          "\"zone_incremental_closes\": %llu, \"zone_closes_skipped\": %llu, "
+          "\"zone_cached_closes\": %llu, \"zone_edges_stored\": %llu, "
+          "\"zone_potential_repairs\": %llu, "
+          "\"zone_closure_vertices_visited\": %llu, "
+          "\"names_interned\": %llu, \"intern_hits\": %llu, "
+          "\"name_table_bytes\": %llu}%s\n",
+          S.Vars, S.WallMs, S.AnalysisMs,
+          static_cast<unsigned long long>(S.Zone.FullCloses),
+          static_cast<unsigned long long>(S.Zone.IncrementalCloses),
+          static_cast<unsigned long long>(S.Zone.ClosesSkipped),
+          static_cast<unsigned long long>(S.Zone.CachedCloses),
+          static_cast<unsigned long long>(S.Zone.EdgesStored),
+          static_cast<unsigned long long>(S.Zone.PotentialRepairs),
+          static_cast<unsigned long long>(S.Zone.ClosureVerticesVisited),
+          static_cast<unsigned long long>(S.Names.NamesInterned),
+          static_cast<unsigned long long>(S.Names.InternHits),
+          static_cast<unsigned long long>(S.Names.NameTableBytes), Sep);
+      continue;
+    }
+    // Octagon entries keep the historical field set (and no "domain" tag
+    // changes their shape) so older tooling keyed on dbm_cells_touched
+    // still parses them.
     std::fprintf(
         F,
-        "    {\"vars\": %u, \"wall_ms\": %.3f, \"analysis_ms\": %.3f, "
+        "    {\"domain\": \"octagon\", \"vars\": %u, \"wall_ms\": %.3f, "
+        "\"analysis_ms\": %.3f, "
         "\"full_closes\": %llu, \"incremental_closes\": %llu, "
         "\"closes_skipped\": %llu, \"cached_closes\": %llu, "
         "\"dbm_cells_touched\": %llu, \"dbm_cells_stored\": %llu, "
@@ -416,8 +506,7 @@ int main(int argc, char **argv) {
         static_cast<unsigned long long>(S.Closure.PeakDbmBytes),
         static_cast<unsigned long long>(S.Names.NamesInterned),
         static_cast<unsigned long long>(S.Names.InternHits),
-        static_cast<unsigned long long>(S.Names.NameTableBytes),
-        SI + 1 < Sweep.size() ? "," : "");
+        static_cast<unsigned long long>(S.Names.NameTableBytes), Sep);
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);

@@ -2,22 +2,26 @@
 # check_bench_regression.sh — per-size perf gate for the Fig. 10 bench.
 #
 # Compares a freshly generated BENCH_fig10.json against the committed
-# baseline and FAILS (exit 1) when DBM closure cells touched at the LARGEST
-# sweep size regressed by more than the threshold (default 5%).
+# baseline and FAILS (exit 1) when, at the LARGEST sweep size, either
+# relational domain's closure-work counter regressed by more than the
+# threshold (default 5%):
+#   - octagon: dbm_cells_touched   (dense half-matrix cells tightened)
+#   - zone:    zone_closure_vertices_visited (sparse-graph vertices scanned)
 #
-# Cells touched — not wall time — is the gate metric: the workload is
-# seeded and the closure kernels are deterministic, so the counter is
+# Counters — not wall time — are the gate metrics: the workload is seeded
+# and the closure kernels are deterministic, so the counters are
 # load-independent and reproducible run-to-run, where wall time on loaded
 # CI runners can swing past any usable threshold. An algorithmic regression
-# in the closure pipeline (the dominant cost of the workload) shows up in
-# this counter directly; wall time is still recorded in the JSON and
-# printed here for context.
+# in either closure pipeline shows up in its counter directly; wall time is
+# still recorded in the JSON and printed here for context.
 #
 # usage: check_bench_regression.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
 #
 # Plain POSIX sh + awk so it runs in any CI image; the JSON it parses is
 # the fixed shape bench_fig10_octagon_workload emits (one sizes-entry per
-# line with "vars", "wall_ms", and "dbm_cells_touched" fields).
+# line, octagon entries carrying "dbm_cells_touched" and zone entries
+# "zone_closure_vertices_visited"). A baseline predating the zone domain
+# simply skips the zone gate.
 
 set -eu
 
@@ -37,13 +41,13 @@ for F in "$BASELINE" "$FRESH"; do
   fi
 done
 
-# Prints "<vars> <dbm_cells_touched> <wall_ms>" for the largest-vars entry
-# of the sizes array.
+# Prints "<vars> <counter> <wall_ms>" for the largest-vars sizes-entry
+# carrying the given counter field, or nothing when no entry has it.
 largest_size() {
-  awk '
-    /"vars":/ && /"dbm_cells_touched":/ {
+  awk -v field="\"$2\":" '
+    /"vars":/ && index($0, field) {
       v = $0; sub(/.*"vars":[ \t]*/, "", v); sub(/[^0-9].*/, "", v)
-      c = $0; sub(/.*"dbm_cells_touched":[ \t]*/, "", c); sub(/[^0-9].*/, "", c)
+      c = $0; sub(".*" field "[ \t]*", "", c); sub(/[^0-9].*/, "", c)
       w = $0; sub(/.*"wall_ms":[ \t]*/, "", w); sub(/[^0-9.].*/, "", w)
       if (v + 0 >= maxv + 0) { maxv = v; cells = c; wall = w }
     }
@@ -54,38 +58,49 @@ largest_size() {
   ' "$1"
 }
 
-BASE_ROW=$(largest_size "$BASELINE") || {
-  echo "check_bench_regression: no sizes entries with dbm_cells_touched in $BASELINE" >&2
-  exit 2
-}
-FRESH_ROW=$(largest_size "$FRESH") || {
-  echo "check_bench_regression: no sizes entries with dbm_cells_touched in $FRESH" >&2
-  exit 2
-}
-
-set -- $BASE_ROW
-BASE_VARS=$1 BASE_CELLS=$2 BASE_WALL=$3
-set -- $FRESH_ROW
-FRESH_VARS=$1 FRESH_CELLS=$2 FRESH_WALL=$3
-
-if [ "$BASE_VARS" != "$FRESH_VARS" ]; then
-  echo "check_bench_regression: sweep-size mismatch (baseline vars=$BASE_VARS, fresh vars=$FRESH_VARS)" >&2
-  exit 2
-fi
-
-awk -v base="$BASE_CELLS" -v fresh="$FRESH_CELLS" -v pct="$THRESHOLD" \
-    -v vars="$BASE_VARS" -v bwall="$BASE_WALL" -v fwall="$FRESH_WALL" '
-  BEGIN {
-    limit = base * (1 + pct / 100)
-    delta = base > 0 ? (fresh / base - 1) * 100 : 0
-    printf "fig10 gate @ %s vars: closure cells touched baseline %d, fresh %d (%+.2f%%), limit %d (+%s%%)\n",
-           vars, base, fresh, delta, limit, pct
-    printf "fig10 gate @ %s vars: wall (informational) baseline %.1f ms, fresh %.1f ms\n",
-           vars, bwall, fwall
-    if (fresh > limit) {
-      printf "FAIL: closure-cells-touched regression exceeds %s%% at the largest sweep size\n", pct
-      exit 1
-    }
-    print "OK"
+# gate LABEL FIELD — compares baseline vs fresh on FIELD at the largest
+# sweep size; returns 1 on regression beyond the threshold.
+gate() {
+  LABEL=$1
+  FIELD=$2
+  BASE_ROW=$(largest_size "$BASELINE" "$FIELD") || {
+    echo "fig10 gate [$LABEL]: baseline has no $FIELD entries; skipping"
+    return 0
   }
-'
+  FRESH_ROW=$(largest_size "$FRESH" "$FIELD") || {
+    echo "FAIL [$LABEL]: baseline carries $FIELD but the fresh run emits none" >&2
+    return 1
+  }
+  set -- $BASE_ROW
+  BASE_VARS=$1 BASE_CELLS=$2 BASE_WALL=$3
+  set -- $FRESH_ROW
+  FRESH_VARS=$1 FRESH_CELLS=$2 FRESH_WALL=$3
+
+  if [ "$BASE_VARS" != "$FRESH_VARS" ]; then
+    echo "check_bench_regression [$LABEL]: sweep-size mismatch (baseline vars=$BASE_VARS, fresh vars=$FRESH_VARS)" >&2
+    return 2
+  fi
+
+  awk -v base="$BASE_CELLS" -v fresh="$FRESH_CELLS" -v pct="$THRESHOLD" \
+      -v vars="$BASE_VARS" -v bwall="$BASE_WALL" -v fwall="$FRESH_WALL" \
+      -v label="$LABEL" -v field="$FIELD" '
+    BEGIN {
+      limit = base * (1 + pct / 100)
+      delta = base > 0 ? (fresh / base - 1) * 100 : 0
+      printf "fig10 gate [%s] @ %s vars: %s baseline %d, fresh %d (%+.2f%%), limit %d (+%s%%)\n",
+             label, vars, field, base, fresh, delta, limit, pct
+      printf "fig10 gate [%s] @ %s vars: wall (informational) baseline %.1f ms, fresh %.1f ms\n",
+             label, vars, bwall, fwall
+      if (fresh > limit) {
+        printf "FAIL [%s]: %s regression exceeds %s%% at the largest sweep size\n", label, field, pct
+        exit 1
+      }
+      print "OK"
+    }
+  '
+}
+
+STATUS=0
+gate octagon dbm_cells_touched || STATUS=1
+gate zone zone_closure_vertices_visited || STATUS=1
+exit $STATUS

@@ -18,61 +18,70 @@ Cfg::Cfg() {
 
 Loc Cfg::addLoc() {
   ++Version;
+  ++StructVersion;
   return NextLoc++;
 }
 
 EdgeId Cfg::addEdge(Loc Src, Loc Dst, Stmt Label) {
   assert(Src < NextLoc && Dst < NextLoc && "edge endpoints must be allocated");
   ++Version;
+  ++StructVersion;
   EdgeId Id = NextEdge++;
-  Edges[Id] = CfgEdge{Id, Src, Dst, std::move(Label)};
+  assert(Id == EdgesById.size() && "edge ids are allocated densely");
+  EdgesById.push_back(CfgEdge{Id, Src, Dst, std::move(Label)});
+  ++LiveEdges;
   return Id;
 }
 
 bool Cfg::replaceStmt(EdgeId Id, Stmt NewLabel) {
-  auto It = Edges.find(Id);
-  if (It == Edges.end())
+  CfgEdge *E = liveEdge(Id);
+  if (!E)
     return false;
+  // Statement-only edit: the shape is untouched, so StructVersion (and the
+  // cached CfgInfo keyed by it) survives.
   ++Version;
-  It->second.Label = std::move(NewLabel);
+  E->Label = std::move(NewLabel);
   return true;
 }
 
 bool Cfg::redirectSrc(EdgeId Id, Loc NewSrc) {
-  auto It = Edges.find(Id);
-  if (It == Edges.end())
+  CfgEdge *E = liveEdge(Id);
+  if (!E)
     return false;
   assert(NewSrc < NextLoc && "edge endpoints must be allocated");
   ++Version;
-  It->second.Src = NewSrc;
+  ++StructVersion;
+  E->Src = NewSrc;
   return true;
 }
 
 bool Cfg::removeEdge(EdgeId Id) {
-  if (Edges.erase(Id) == 0)
+  CfgEdge *E = liveEdge(Id);
+  if (!E)
     return false;
   ++Version;
+  ++StructVersion;
+  // Tombstone the slot: ids are never reused, so the dense index stays
+  // valid for every surviving edge.
+  *E = CfgEdge{};
+  --LiveEdges;
   return true;
 }
 
 bool Cfg::redirectDst(EdgeId Id, Loc NewDst) {
-  auto It = Edges.find(Id);
-  if (It == Edges.end())
+  CfgEdge *E = liveEdge(Id);
+  if (!E)
     return false;
   assert(NewDst < NextLoc && "edge endpoints must be allocated");
   ++Version;
-  It->second.Dst = NewDst;
+  ++StructVersion;
+  E->Dst = NewDst;
   return true;
-}
-
-const CfgEdge *Cfg::findEdge(EdgeId Id) const {
-  auto It = Edges.find(Id);
-  return It == Edges.end() ? nullptr : &It->second;
 }
 
 std::vector<EdgeId> Cfg::succEdges(Loc L) const {
   std::vector<EdgeId> Out;
-  for (const auto &[Id, E] : Edges)
+  for (const auto &[Id, E] : edges())
     if (E.Src == L)
       Out.push_back(Id);
   return Out;
@@ -80,7 +89,7 @@ std::vector<EdgeId> Cfg::succEdges(Loc L) const {
 
 std::vector<EdgeId> Cfg::predEdges(Loc L) const {
   std::vector<EdgeId> Out;
-  for (const auto &[Id, E] : Edges)
+  for (const auto &[Id, E] : edges())
     if (E.Dst == L)
       Out.push_back(Id);
   return Out;
@@ -89,7 +98,7 @@ std::vector<EdgeId> Cfg::predEdges(Loc L) const {
 std::string Cfg::toString() const {
   std::ostringstream OS;
   OS << "entry=l" << Entry << " exit=l" << Exit << "\n";
-  for (const auto &[Id, E] : Edges)
+  for (const auto &[Id, E] : edges())
     OS << "  [e" << Id << "] l" << E.Src << " --{" << E.Label.toString()
        << "}--> l" << E.Dst << "\n";
   return OS.str();
@@ -100,9 +109,11 @@ std::string Cfg::toDot(const std::string &Title) const {
   OS << "digraph \"" << Title << "\" {\n";
   OS << "  l" << Entry << " [shape=doublecircle];\n";
   OS << "  l" << Exit << " [shape=doubleoctagon];\n";
-  for (const auto &[Id, E] : Edges)
+  for (const auto &[Id, E] : edges()) {
+    (void)Id;
     OS << "  l" << E.Src << " -> l" << E.Dst << " [label=\""
        << E.Label.toString() << "\"];\n";
+  }
   OS << "}\n";
   return OS.str();
 }

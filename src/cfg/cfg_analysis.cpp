@@ -227,7 +227,7 @@ CfgInfo dai::analyzeCfg(const Cfg &G) {
   for (const auto &[Id, E] : G.edges()) {
     if (Info.BackEdges.count(Id) || !Info.Reachable[E.Src])
       continue;
-    Info.FwdEdgesTo[E.Dst].push_back(Id); // map iteration is EdgeId-ordered
+    Info.FwdEdgesTo[E.Dst].push_back(Id); // edges() iteration is EdgeId-ordered
   }
   for (const auto &[L, Ids] : Info.FwdEdgesTo)
     if (Ids.size() >= 2)
@@ -235,3 +235,24 @@ CfgInfo dai::analyzeCfg(const Cfg &G) {
 
   return Info;
 }
+
+//===----------------------------------------------------------------------===//
+// Cached structural facts (Cfg::info)
+//===----------------------------------------------------------------------===//
+
+// Defined here rather than in cfg.cpp because they need CfgInfo complete.
+// The cache key is structuralVersion(): statement-only edits (replaceStmt)
+// keep it, so between two structural edits every consumer — DAIG
+// construction across all engine instances, edits.cpp's splice-point probe,
+// the workload generator's reachability sampling — shares ONE derivation of
+// dominators, loops, and RPO instead of each re-running analyzeCfg.
+
+std::shared_ptr<const CfgInfo> Cfg::infoShared() const {
+  if (!InfoCache || InfoCacheVersion != StructVersion) {
+    InfoCache = std::make_shared<const CfgInfo>(analyzeCfg(*this));
+    InfoCacheVersion = StructVersion;
+  }
+  return InfoCache;
+}
+
+const CfgInfo &Cfg::info() const { return *infoShared(); }

@@ -28,15 +28,18 @@ namespace {
 std::pair<Loc, Loc> spliceAt(Cfg &G, Loc L) {
   assert(L != G.exit() && "cannot insert code after the procedure exit");
   // Loop headers are identified by genuine (dominance-based) back edges —
-  // merely sitting on a cycle does not make a location a header.
-  CfgInfo Info = analyzeCfg(G);
-  assert(Info.valid() && "edits require a well-formed CFG");
+  // merely sitting on a cycle does not make a location a header. The cached
+  // snapshot is pinned BEFORE the mutations below invalidate it: pre-edit
+  // facts are exactly what the splice decision needs, and between edits the
+  // probe is a version compare, not a fresh analyzeCfg.
+  std::shared_ptr<const CfgInfo> Info = G.infoShared();
+  assert(Info->valid() && "edits require a well-formed CFG");
   Loc M = G.addLoc();
-  if (Info.isLoopHead(L)) {
+  if (Info->isLoopHead(L)) {
     // Splice before the header: forward in-edges now enter M; the new code
     // runs once, before the loop. The back edge keeps targeting L.
     for (EdgeId Id : G.predEdges(L))
-      if (!Info.BackEdges.count(Id))
+      if (!Info->BackEdges.count(Id))
         G.redirectDst(Id, M);
     return {L, M}; // code goes M → ... → L
   }

@@ -97,8 +97,8 @@ public:
   void setTransferHook(TransferFn Fn) { Hook = std::move(Fn); }
   void setOnCellEmptied(EmptiedFn Fn) { OnCellEmptied = std::move(Fn); }
 
-  const CfgInfo &info() const { return Info; }
-  bool valid() const { return Info.valid(); }
+  const CfgInfo &info() const { return *Info; }
+  bool valid() const { return Info->valid(); }
 
   //===--------------------------------------------------------------------===//
   // Names of interest
@@ -117,24 +117,24 @@ public:
   /// Demands the abstract state at location \p L, computing enclosing loop
   /// fixed points as needed. Returns ⊥ for unreachable locations.
   Elem queryLocation(Loc L) {
-    if (L >= Info.Reachable.size() || !Info.Reachable[L])
+    if (L >= Info->Reachable.size() || !Info->Reachable[L])
       return D::bottom();
     CountCtx Ctx;
-    for (Loc H : Info.LoopNestOf[L]) {
+    for (Loc H : Info->LoopNestOf[L]) {
       if (H == L)
         break;
       Name FixDest = fixCellName(H, Ctx);
       queryState(FixDest);
       Ctx[H] = Loops.at(FixDest).K - 1;
     }
-    if (Info.isLoopHead(L))
+    if (Info->isLoopHead(L))
       return queryState(fixCellName(L, Ctx));
     return queryState(stateCellName(L, Ctx));
   }
 
   /// Demands every reachable location (the eager, incremental-only mode).
   void queryAllLocations() {
-    for (Loc L : Info.Rpo)
+    for (Loc L : Info->Rpo)
       (void)queryLocation(L);
   }
 
@@ -199,7 +199,7 @@ public:
     assert(NewEdge && "insertion must have created an edge");
     bool BeforeHeader = R.HammockExit == L;
     Loc M = BeforeHeader ? NewEdge->Src : R.HammockExit;
-    if (L >= Info.Reachable.size() || !Info.Reachable[L]) {
+    if (L >= Info->Reachable.size() || !Info->Reachable[L]) {
       rebuild();
       return false;
     }
@@ -216,7 +216,7 @@ public:
         if (!decodeState(N, DL, Counts) || DL != L)
           continue;
         if (BeforeHeader &&
-            (Counts.size() != Info.LoopNestOf[L].size() ||
+            (Counts.size() != Info->LoopNestOf[L].size() ||
              Counts.back() != 0))
           continue; // only full entry iterates (own count 0) are re-sourced
         LCells.emplace_back(N, Counts);
@@ -352,8 +352,8 @@ public:
 
     // Refresh structural facts (the CFG gained a location) and dirty
     // forward from every re-sourced consumer.
-    Info = analyzeCfg(*G);
-    assert(Info.valid() && "insertion must preserve well-formedness");
+    Info = G->infoShared();
+    assert(Info->valid() && "insertion must preserve well-formedness");
     std::set<Name> Visited;
     std::vector<Name> Work;
     for (Name Seed : DirtySeeds)
@@ -513,8 +513,8 @@ public:
     const CfgEdge *E = G->findEdge(Id);
     assert(E && "no such edge");
     Name Plain = Name::pair(Name::loc(E->Src), Name::loc(E->Dst));
-    unsigned Idx = Info.fwdIndexOf(*G, Id);
-    if (Idx == 0 || Info.FwdEdgesTo.at(E->Dst).size() < 2)
+    unsigned Idx = Info->fwdIndexOf(*G, Id);
+    if (Idx == 0 || Info->FwdEdgesTo.at(E->Dst).size() < 2)
       return Plain; // back edge or unique forward edge
     return Name::pair(Name::num(Idx), Plain);
   }
@@ -534,7 +534,7 @@ private:
   //===--------------------------------------------------------------------===//
 
   Cfg *G;
-  CfgInfo Info;
+  std::shared_ptr<const CfgInfo> Info; ///< Pinned snapshot (see Cfg::infoShared).
   Elem EntryValue;
   Statistics *Stats;
   MemoTable<D> *Memo;
@@ -581,7 +581,7 @@ private:
   /// (for a loop head, the final count is its own iterate index).
   Name stateCellName(Loc L, const CountCtx &Ctx) const {
     Name N = Name::loc(L);
-    for (Loc H : Info.LoopNestOf[L]) {
+    for (Loc H : Info->LoopNestOf[L]) {
       auto It = Ctx.find(H);
       N = Name::iter(N, It == Ctx.end() ? 0u : It->second);
     }
@@ -592,7 +592,7 @@ private:
   /// counts of strictly enclosing loops only.
   Name fixCellName(Loc H, const CountCtx &Ctx) const {
     Name N = Name::loc(H);
-    const auto &Nest = Info.LoopNestOf[H];
+    const auto &Nest = Info->LoopNestOf[H];
     for (size_t I = 0; I + 1 < Nest.size(); ++I) {
       auto It = Ctx.find(Nest[I]);
       N = Name::iter(N, It == Ctx.end() ? 0u : It->second);
@@ -689,22 +689,22 @@ private:
     CompOf.clear();
     Dependents.clear();
     Loops.clear();
-    Info = analyzeCfg(*G);
-    if (!Info.valid())
+    Info = G->infoShared();
+    if (!Info->valid())
       return;
     // The entry cell holds φ0 and must have no forward in-edges.
-    assert(Info.FwdEdgesTo.count(G->entry()) == 0 &&
+    assert(Info->FwdEdgesTo.count(G->entry()) == 0 &&
            "the entry location cannot be a forward-edge target");
     CountCtx Ctx;
     Name EntryName = stateCellName(G->entry(), Ctx);
     addStateCell(EntryName);
     Cells.at(EntryName).V = std::variant<Stmt, Elem>(EntryValue);
 
-    for (Loc L : Info.Rpo) {
+    for (Loc L : Info->Rpo) {
       if (L == G->entry())
         continue;
-      if (Info.inAnyLoop(L)) {
-        const auto &Nest = Info.LoopNestOf[L];
+      if (Info->inAnyLoop(L)) {
+        const auto &Nest = Info->LoopNestOf[L];
         if (Nest.size() == 1 && Nest[0] == L) {
           // Outermost loop head: entry edges target iterate 0.
           buildEdgesInto(L, Ctx);
@@ -721,8 +721,8 @@ private:
   void buildEdgesInto(Loc L, const CountCtx &Ctx) {
     Name Dest = stateCellName(L, Ctx);
     addStateCell(Dest);
-    auto It = Info.FwdEdgesTo.find(L);
-    if (It == Info.FwdEdgesTo.end())
+    auto It = Info->FwdEdgesTo.find(L);
+    if (It == Info->FwdEdgesTo.end())
       return; // head reachable only through its back edge: entry via loop
     const std::vector<EdgeId> &Ids = It->second;
     if (Ids.size() == 1) {
@@ -750,7 +750,7 @@ private:
   /// the edge leaves its loop, else the head's current iterate / the plain
   /// state cell (footnote 5 of the paper).
   Name srcStateName(Loc Src, Loc DstLoc, const CountCtx &Ctx) const {
-    if (Info.isLoopHead(Src) && !Info.NaturalLoops.at(Src).count(DstLoc))
+    if (Info->isLoopHead(Src) && !Info->NaturalLoops.at(Src).count(DstLoc))
       return fixCellName(Src, Ctx);
     return stateCellName(Src, Ctx);
   }
@@ -776,17 +776,17 @@ private:
       addStateCell(FixDest);
     addComp(FixDest, FnKind::Fix, {ItI, ItNext});
     std::vector<std::pair<Loc, uint32_t>> EnclosingCtx;
-    for (Loc H : Info.LoopNestOf[L])
+    for (Loc H : Info->LoopNestOf[L])
       if (H != L)
         EnclosingCtx.emplace_back(H, Ctx.count(H) ? Ctx.at(H) : 0u);
     Loops[FixDest] = LoopInstance{L, std::move(EnclosingCtx), I + 1};
 
     // Body cells and computations under count I.
-    const std::set<Loc> &Body = Info.NaturalLoops.at(L);
-    for (Loc B : Info.Rpo) {
+    const std::set<Loc> &Body = Info->NaturalLoops.at(L);
+    for (Loc B : Info->Rpo) {
       if (B == L || !Body.count(B))
         continue;
-      const auto &Nest = Info.LoopNestOf[B];
+      const auto &Nest = Info->LoopNestOf[B];
       if (Nest.back() == B && Nest.size() >= 2 &&
           Nest[Nest.size() - 2] == L) {
         // Directly nested loop: entry edges, then its initial iteration.
@@ -800,7 +800,7 @@ private:
     }
 
     // Back edge: transfer from the latch state into the pre-widen cell.
-    const CfgEdge *Back = G->findEdge(Info.LoopBackEdge.at(L));
+    const CfgEdge *Back = G->findEdge(Info->LoopBackEdge.at(L));
     Name SC = Name::pair(Name::loc(Back->Src), Name::loc(Back->Dst));
     addStmtCell(SC, Back->Label);
     addComp(PreWiden, FnKind::Transfer, {SC, stateCellName(Back->Src, Ctx)});
@@ -971,9 +971,9 @@ private:
     std::vector<uint32_t> Counts;
     if (!decodeState(N, L, Counts))
       return;
-    if (!Info.isLoopHead(L) || L >= Info.LoopNestOf.size())
+    if (!Info->isLoopHead(L) || L >= Info->LoopNestOf.size())
       return;
-    const auto &Nest = Info.LoopNestOf[L];
+    const auto &Nest = Info->LoopNestOf[L];
     if (Counts.size() != Nest.size() || Counts.empty() || Counts.back() != 1)
       return;
     // Reconstruct the fix-cell name from the enclosing counts.
@@ -992,7 +992,7 @@ private:
   /// fix computation to the initial iterates.
   void rollbackLoop(Name FixDest, LoopInstance &Inst) {
     Loc L = Inst.Head;
-    const auto &HeadNest = Info.LoopNestOf[L];
+    const auto &HeadNest = Info->LoopNestOf[L];
     size_t Pos = HeadNest.size() - 1; // L's index within its own nest
     CountCtx Ctx;
     for (const auto &[H, C] : Inst.Ctx)
@@ -1019,7 +1019,7 @@ private:
       std::vector<uint32_t> Counts;
       if (!decodeCellState(N, CL, Counts))
         continue; // statement cells survive rollback
-      const auto &CNest = Info.LoopNestOf[CL];
+      const auto &CNest = Info->LoopNestOf[CL];
       // Find L's position within this cell's nest; fix cells have one fewer
       // count than their head's nest, which the position check tolerates.
       size_t P = 0;
@@ -1067,7 +1067,7 @@ private:
   /// never inside a loop).
   Name resultNameFor(Loc L) const {
     CountCtx Ctx;
-    if (Info.isLoopHead(L))
+    if (Info->isLoopHead(L))
       return fixCellName(L, Ctx);
     return stateCellName(L, Ctx);
   }
@@ -1087,9 +1087,9 @@ private:
       (void)CellV;
       if (!decodeCellState(N, L, Counts))
         continue;
-      if (L >= Info.LoopNestOf.size())
+      if (L >= Info->LoopNestOf.size())
         continue;
-      const auto &Nest = Info.LoopNestOf[L];
+      const auto &Nest = Info->LoopNestOf[L];
       CountCtx Ctx;
       for (size_t P = 0; P < Nest.size() && P < Counts.size(); ++P) {
         B[fixCellName(Nest[P], Ctx)].emplace_back(N, Counts[P]);
@@ -1107,14 +1107,14 @@ private:
       const Daig &Fresh, const LoopInstance &Inst,
       const std::vector<std::pair<Name, uint32_t>> &FreshBucket) {
     Loc L = Inst.Head;
-    if (L >= Fresh.Info.LoopNestOf.size() || !Fresh.Info.isLoopHead(L))
+    if (L >= Fresh.Info->LoopNestOf.size() || !Fresh.Info->isLoopHead(L))
       return false;
-    if (Fresh.Info.LoopNestOf[L] != Info.LoopNestOf[L])
+    if (Fresh.Info->LoopNestOf[L] != Info->LoopNestOf[L])
       return false;
-    auto FreshLoop = Fresh.Info.NaturalLoops.find(L);
-    auto OldLoop = Info.NaturalLoops.find(L);
-    if (FreshLoop == Fresh.Info.NaturalLoops.end() ||
-        OldLoop == Info.NaturalLoops.end() ||
+    auto FreshLoop = Fresh.Info->NaturalLoops.find(L);
+    auto OldLoop = Info->NaturalLoops.find(L);
+    if (FreshLoop == Fresh.Info->NaturalLoops.end() ||
+        OldLoop == Info->NaturalLoops.end() ||
         FreshLoop->second != OldLoop->second)
       return false;
     // Every fresh cell belonging to this instance must exist unchanged in
@@ -1158,9 +1158,9 @@ private:
     std::vector<uint32_t> Counts;
     if (!decodeCellState(N, CL, Counts))
       return false;
-    if (CL >= Ref.Info.LoopNestOf.size())
+    if (CL >= Ref.Info->LoopNestOf.size())
       return false;
-    const auto &CNest = Ref.Info.LoopNestOf[CL];
+    const auto &CNest = Ref.Info->LoopNestOf[CL];
     size_t P = 0;
     for (; P < CNest.size(); ++P)
       if (CNest[P] == Inst.Head)

@@ -1,0 +1,105 @@
+//===-- domain/linear.h - Linear forms over interned symbols ----*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linearization of expressions into Σ coeff·var + const form, shared by the
+/// relational domains (octagon, zone): each domain pattern-matches the
+/// resulting LinForm against the constraint shapes it can represent exactly
+/// (±x ± y ≤ c for octagons, x − y ≤ c / ±x ≤ c for zones) and falls back
+/// to interval reasoning otherwise. Variables are interned at linearization,
+/// so everything downstream works over integer symbol ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_LINEAR_H
+#define DAI_DOMAIN_LINEAR_H
+
+#include "domain/symbol.h"
+#include "lang/expr.h"
+
+#include <cstdint>
+#include <map>
+
+namespace dai {
+
+/// Linear form Σ coeff·var + Const; Ok is false for non-linear expressions.
+struct LinForm {
+  bool Ok = false;
+  std::map<SymbolId, int64_t> Coeffs;
+  int64_t Const = 0;
+
+  static LinForm fail() { return LinForm(); }
+  static LinForm constant(int64_t C) {
+    LinForm F;
+    F.Ok = true;
+    F.Const = C;
+    return F;
+  }
+  LinForm scaled(int64_t K) const {
+    LinForm F = *this;
+    F.Const *= K;
+    for (auto &[V, C] : F.Coeffs)
+      C *= K;
+    std::erase_if(F.Coeffs, [](const auto &P) { return P.second == 0; });
+    return F;
+  }
+  LinForm plus(const LinForm &O, int64_t Sign) const {
+    LinForm F = *this;
+    F.Const += Sign * O.Const;
+    for (const auto &[V, C] : O.Coeffs) {
+      F.Coeffs[V] += Sign * C;
+      if (F.Coeffs[V] == 0)
+        F.Coeffs.erase(V);
+    }
+    return F;
+  }
+};
+
+inline LinForm linearize(const ExprPtr &E) {
+  if (!E)
+    return LinForm::fail();
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return LinForm::constant(E->IntVal);
+  case ExprKind::BoolLit:
+    return LinForm::constant(E->BoolVal ? 1 : 0);
+  case ExprKind::Var: {
+    LinForm F;
+    F.Ok = true;
+    F.Coeffs[internSymbol(E->Name)] = 1;
+    return F;
+  }
+  case ExprKind::Unary: {
+    if (E->UOp != UnaryOp::Neg)
+      return LinForm::fail();
+    LinForm Sub = linearize(E->Lhs);
+    return Sub.Ok ? Sub.scaled(-1) : LinForm::fail();
+  }
+  case ExprKind::Binary: {
+    if (E->BOp == BinaryOp::Add || E->BOp == BinaryOp::Sub) {
+      LinForm L = linearize(E->Lhs), R = linearize(E->Rhs);
+      if (!L.Ok || !R.Ok)
+        return LinForm::fail();
+      return L.plus(R, E->BOp == BinaryOp::Add ? 1 : -1);
+    }
+    if (E->BOp == BinaryOp::Mul) {
+      LinForm L = linearize(E->Lhs), R = linearize(E->Rhs);
+      if (L.Ok && L.Coeffs.empty() && R.Ok)
+        return R.scaled(L.Const);
+      if (R.Ok && R.Coeffs.empty() && L.Ok)
+        return L.scaled(R.Const);
+      return LinForm::fail();
+    }
+    return LinForm::fail();
+  }
+  default:
+    return LinForm::fail();
+  }
+}
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_LINEAR_H

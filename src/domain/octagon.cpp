@@ -7,6 +7,7 @@
 #include "domain/octagon.h"
 
 #include "cfg/program.h"
+#include "domain/linear.h"
 #include "support/hashing.h"
 #include "support/statistics.h"
 
@@ -659,83 +660,6 @@ std::string Octagon::toString() const {
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// Linear form Σ coeff·var + Const; Ok is false for non-linear expressions.
-/// Variables are interned at linearization, so everything downstream works
-/// over integer symbol ids.
-struct LinForm {
-  bool Ok = false;
-  std::map<SymbolId, int64_t> Coeffs;
-  int64_t Const = 0;
-
-  static LinForm fail() { return LinForm(); }
-  static LinForm constant(int64_t C) {
-    LinForm F;
-    F.Ok = true;
-    F.Const = C;
-    return F;
-  }
-  LinForm scaled(int64_t K) const {
-    LinForm F = *this;
-    F.Const *= K;
-    for (auto &[V, C] : F.Coeffs)
-      C *= K;
-    std::erase_if(F.Coeffs, [](const auto &P) { return P.second == 0; });
-    return F;
-  }
-  LinForm plus(const LinForm &O, int64_t Sign) const {
-    LinForm F = *this;
-    F.Const += Sign * O.Const;
-    for (const auto &[V, C] : O.Coeffs) {
-      F.Coeffs[V] += Sign * C;
-      if (F.Coeffs[V] == 0)
-        F.Coeffs.erase(V);
-    }
-    return F;
-  }
-};
-
-LinForm linearize(const ExprPtr &E) {
-  if (!E)
-    return LinForm::fail();
-  switch (E->Kind) {
-  case ExprKind::IntLit:
-    return LinForm::constant(E->IntVal);
-  case ExprKind::BoolLit:
-    return LinForm::constant(E->BoolVal ? 1 : 0);
-  case ExprKind::Var: {
-    LinForm F;
-    F.Ok = true;
-    F.Coeffs[internSymbol(E->Name)] = 1;
-    return F;
-  }
-  case ExprKind::Unary: {
-    if (E->UOp != UnaryOp::Neg)
-      return LinForm::fail();
-    LinForm Sub = linearize(E->Lhs);
-    return Sub.Ok ? Sub.scaled(-1) : LinForm::fail();
-  }
-  case ExprKind::Binary: {
-    if (E->BOp == BinaryOp::Add || E->BOp == BinaryOp::Sub) {
-      LinForm L = linearize(E->Lhs), R = linearize(E->Rhs);
-      if (!L.Ok || !R.Ok)
-        return LinForm::fail();
-      return L.plus(R, E->BOp == BinaryOp::Add ? 1 : -1);
-    }
-    if (E->BOp == BinaryOp::Mul) {
-      LinForm L = linearize(E->Lhs), R = linearize(E->Rhs);
-      if (L.Ok && L.Coeffs.empty() && R.Ok)
-        return R.scaled(L.Const);
-      if (R.Ok && R.Coeffs.empty() && L.Ok)
-        return L.scaled(R.Const);
-      return LinForm::fail();
-    }
-    return LinForm::fail();
-  }
-  default:
-    return LinForm::fail();
-  }
-}
 
 /// Projects the octagon onto per-variable intervals (for the interval
 /// fallback on non-octagonal expressions). Requires \p O closed. Both

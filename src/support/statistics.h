@@ -123,6 +123,64 @@ inline ClosureCounters &closureCounters() {
   return Counters;
 }
 
+/// Counters for the sparse zone domain (domain/zone.h). The zone subsystem's
+/// whole point is that transfer/query cost scales with the number of LIVE
+/// constraints, not the dimension count — these counters let benches and the
+/// CI gate verify that claim deterministically: on the mostly-⊤ Fig. 10
+/// workload, ClosureVerticesVisited should grow sub-quadratically in the
+/// variable-pool size while the octagon's CellsTouched stays ~n².
+///
+/// thread_local like ClosureCounters (one analysis engine per thread).
+struct ZoneCounters {
+  uint64_t EdgesStored = 0;     ///< Cumulative graph edges materialized
+                                ///< (inserts, not weight updates) — the
+                                ///< sparse analogue of CellsStored.
+  uint64_t PotentialRepairs = 0; ///< Bellman–Ford potential-repair runs
+                                 ///< triggered by constraint additions.
+  uint64_t ClosureVerticesVisited = 0; ///< Vertices scanned by the closure
+                                       ///< kernels (restricted single-source
+                                       ///< sweeps + incremental cross
+                                       ///< products). Deterministic on a
+                                       ///< seeded workload; the CI gate
+                                       ///< metric.
+  uint64_t FullCloses = 0;        ///< Restricted all-sources closures run.
+  uint64_t IncrementalCloses = 0; ///< Single-edge close_over_edge runs.
+  uint64_t ClosesSkipped = 0;     ///< close() calls on already-closed values.
+  uint64_t CachedCloses = 0;      ///< Closures answered by a closedView cache.
+
+  void reset() { *this = ZoneCounters(); }
+
+  ZoneCounters operator-(const ZoneCounters &O) const {
+    ZoneCounters R;
+    R.EdgesStored = EdgesStored - O.EdgesStored;
+    R.PotentialRepairs = PotentialRepairs - O.PotentialRepairs;
+    R.ClosureVerticesVisited =
+        ClosureVerticesVisited - O.ClosureVerticesVisited;
+    R.FullCloses = FullCloses - O.FullCloses;
+    R.IncrementalCloses = IncrementalCloses - O.IncrementalCloses;
+    R.ClosesSkipped = ClosesSkipped - O.ClosesSkipped;
+    R.CachedCloses = CachedCloses - O.CachedCloses;
+    return R;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const ZoneCounters &C) {
+  OS << "{edgesStored=" << C.EdgesStored
+     << " potentialRepairs=" << C.PotentialRepairs
+     << " closureVerticesVisited=" << C.ClosureVerticesVisited
+     << " fullCloses=" << C.FullCloses
+     << " incrementalCloses=" << C.IncrementalCloses
+     << " closesSkipped=" << C.ClosesSkipped
+     << " cachedCloses=" << C.CachedCloses << "}";
+  return OS;
+}
+
+/// The thread's zone-counter sink (see ZoneCounters).
+inline ZoneCounters &zoneCounters() {
+  static thread_local ZoneCounters Counters;
+  return Counters;
+}
+
 /// Counters for the global hash-consed NameTable (daig/name.h). Name
 /// construction sits on the hot path of every edit and query (Fig. 6 names
 /// resolve DAIG cells and memo entries), so benches report these alongside

@@ -126,7 +126,7 @@ Program WorkloadGenerator::makeInitialProgram() {
 }
 
 Loc WorkloadGenerator::sampleEditLocation(const Cfg &G) {
-  CfgInfo Info = analyzeCfg(G);
+  const CfgInfo &Info = G.info();
   std::vector<Loc> Candidates;
   for (Loc L = 0; L < G.numLocs(); ++L)
     if (Info.Reachable[L] && L != G.exit())
@@ -168,7 +168,7 @@ std::vector<Loc> WorkloadGenerator::sampleQueryLocations(const Program &P,
                                                          unsigned N) {
   const Function *Main = P.find("main");
   assert(Main && "workload programs have a main");
-  CfgInfo Info = analyzeCfg(Main->Body);
+  const CfgInfo &Info = Main->Body.info();
   std::vector<Loc> Reachable;
   for (Loc L = 0; L < Main->Body.numLocs(); ++L)
     if (Info.Reachable[L])
