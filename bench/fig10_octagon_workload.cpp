@@ -27,18 +27,30 @@
 /// can follow the perf trajectory and *why* it moved (full vs. incremental
 /// closure mix; see support/statistics.h).
 ///
-/// The relational domain is an axis: `--domain octagon|zone|both` (default
-/// both for the sweep; the Fig. 10 config table itself runs the octagon
-/// unless `--domain zone`). The sweep emits one sizes-entry per (domain,
-/// size) pair: octagon entries carry the dense-DBM counters (cells touched
-/// ~n² per sweep size on this mostly-⊤ workload), zone entries carry the
-/// sparse-graph counters (edges stored, potential repairs, closure vertices
-/// visited) — the headline claim being that zone closure work tracks the
-/// number of LIVE constraints and grows sub-quadratically in the variable
-/// pool where the octagon's cells touched cannot.
+/// The relational domain is an axis: `--domain octagon|zone|staged|both`
+/// (default both for the sweep; the Fig. 10 config table itself runs the
+/// octagon unless `--domain zone` or `--domain staged`). The sweep emits
+/// one sizes-entry per (domain, size) pair: octagon entries carry the
+/// dense-DBM counters (cells touched ~n² per sweep size on this mostly-⊤
+/// workload), zone entries carry the sparse-graph counters (edges stored,
+/// potential repairs, closure vertices visited) — the headline claim being
+/// that zone closure work tracks the number of LIVE constraints and grows
+/// sub-quadratically in the variable pool where the octagon's cells
+/// touched cannot.
+///
+/// Staged entries (domain/staged.h) run the SAME difference workload on
+/// the zone tier (their wall time should track the zone's) and then a
+/// SUM-CONSTRAINT QUERY PHASE: escalated queries at sampled locations,
+/// with every x + y bound lockstep-compared against a fresh pure-octagon
+/// engine on the final program — staged_sum_mismatches counts answers that
+/// are not octagon-exact (expected 0; staged_sum_tighter counts sound
+/// zone-side prunings, which only tighten). staged_escalated_transfers is
+/// the staged gate metric: the octagon work the escalation actually paid.
+///
 /// scripts/check_bench_regression.sh compares a fresh JSON against the
 /// committed baseline, gating on the deterministic closure-cells-touched
-/// (octagon) and closure-vertices-visited (zone) counters.
+/// (octagon), closure-vertices-visited (zone), and escalated-transfers
+/// (staged) counters.
 ///
 /// Defaults are scaled down from the paper's 3,000 edits × 9 trials so the
 /// whole suite runs in CI time; pass `--edits 3000 --trials 9` for paper
@@ -49,6 +61,7 @@
 
 #include "analysis/batch_interpreter.h"
 #include "domain/octagon.h"
+#include "domain/staged.h"
 #include "domain/zone.h"
 #include "interproc/engine.h"
 #include "support/statistics.h"
@@ -91,7 +104,7 @@ struct Sample {
   double Ms;
 };
 
-enum class DomainChoice { Octagon, Zone, Both };
+enum class DomainChoice { Octagon, Zone, Staged, Both };
 
 struct Options {
   unsigned Edits = 250;
@@ -105,6 +118,39 @@ struct Options {
   std::string JsonPath = "BENCH_fig10.json"; ///< Empty disables JSON.
   std::vector<unsigned> SweepSizes = {8, 16, 32, 48};
 };
+
+/// The incr+demand edit/query loop over a live engine: Opt.Edits random
+/// edits with minimal dirtying, each followed by the per-edit query batch
+/// (the paper's I&DD configuration). Shared by runTrial and the staged
+/// sweep point — which additionally needs the engine alive afterwards for
+/// its sum-constraint query phase — so the "identical seeded difference
+/// workload" comparability across domains cannot drift between the two.
+/// Appends per-edit samples to \p Samples when non-null; returns the
+/// summed per-edit analysis latency.
+template <typename D>
+double runIncrDemandEdits(InterprocEngine<D> &Engine, WorkloadGenerator &Gen,
+                          const Options &Opt, std::vector<Sample> *Samples) {
+  double AnalysisMs = 0;
+  for (unsigned EditIdx = 0; EditIdx < Opt.Edits; ++EditIdx) {
+    Program &Current = Engine.program();
+    EditRecord Rec = Gen.applyRandomEdit(Current);
+    std::vector<Loc> Queries =
+        Gen.sampleQueryLocations(Current, Opt.Queries);
+    size_t Edges = Current.find("main")->Body.edges().size();
+    Clock::time_point Start = Clock::now();
+    if (Rec.Kind == EditKind::InsertStmt)
+      Engine.applyInsertedStatementEdit("main", Rec.At, Rec.Splice);
+    else
+      Engine.applyStructuralEdit("main");
+    for (Loc Q : Queries)
+      (void)Engine.queryMain(Q);
+    double Ms = msSince(Start);
+    AnalysisMs += Ms;
+    if (Samples)
+      Samples->push_back(Sample{EditIdx, Edges, Ms});
+  }
+  return AnalysisMs;
+}
 
 /// Runs one trial of one configuration over domain \p D; every
 /// configuration sees the identical (seeded) edit and query sequence.
@@ -129,6 +175,12 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
   else
     Engine = std::make_unique<InterprocEngine<D>>(std::move(Initial), "main",
                                                   /*K=*/0);
+
+  if (C == Config::IncrementalAndDemand) {
+    // Minimal dirtying and demand-driven evaluation (the paper's I&DD).
+    runIncrDemandEdits(*Engine, Gen, Opt, &Samples);
+    return Samples;
+  }
 
   for (unsigned EditIdx = 0; EditIdx < Opt.Edits; ++EditIdx) {
     Program &Current =
@@ -165,14 +217,7 @@ std::vector<Sample> runTrial(Config C, const Options &Opt, uint64_t Seed) {
         (void)Engine->queryMain(Q);
       break;
     case Config::IncrementalAndDemand:
-      // Minimal dirtying and demand-driven evaluation (the paper's I&DD).
-      if (Rec.Kind == EditKind::InsertStmt)
-        Engine->applyInsertedStatementEdit("main", Rec.At, Rec.Splice);
-      else
-        Engine->applyStructuralEdit("main");
-      for (Loc Q : Queries)
-        (void)Engine->queryMain(Q);
-      break;
+      break; // handled above (runIncrDemandEdits)
     }
     Samples.push_back(Sample{EditIdx, Edges, msSince(Start)});
   }
@@ -191,18 +236,46 @@ struct SweepResult {
   ClosureCounters Closure;
   ZoneCounters Zone;
   NameTableCounters Names;
+  StagedCounters Staged;        ///< Staged rows only (zero otherwise).
+  uint64_t SumQueries = 0;      ///< Sum-phase bound comparisons performed.
+  uint64_t SumMismatches = 0;   ///< Answers that were NOT octagon-exact.
+  uint64_t SumTighter = 0;      ///< Sound zone-side prunings (⊥ collapse).
+  uint64_t EscalatedLocs = 0;   ///< Query locations holding escalated values.
+  double SumQueryMs = 0;        ///< Wall time of the sum-query phase.
+};
+
+/// Snapshot of every per-thread counter family a sweep point reports —
+/// the shared take/delta boilerplate of runSweepPoint and the staged
+/// sweep, so the two cannot drift in which counters they window.
+struct CounterSnapshot {
+  ClosureCounters Closure;
+  ZoneCounters Zone;
+  NameTableCounters Names;
+  StagedCounters Staged;
+
+  static CounterSnapshot take() {
+    // PeakDbmBytes is a gauge; zero it so the region reports its own peak
+    // rather than the largest matrix any earlier phase ever allocated.
+    closureCounters().PeakDbmBytes = 0;
+    return {closureCounters(), zoneCounters(), nameTableCounters(),
+            stagedCounters()};
+  }
+  /// Writes (now − snapshot) into \p R. Call at the END of the measured
+  /// region — anything that runs afterwards (e.g. the staged point's
+  /// pure-octagon verification engine) stays out of the reported deltas.
+  void deltaInto(SweepResult &R) const {
+    R.Closure = closureCounters() - Closure;
+    R.Zone = zoneCounters() - Zone;
+    R.Names = nameTableCounters() - Names;
+    R.Staged = stagedCounters() - Staged;
+  }
 };
 
 template <typename D>
 SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   Options SizeOpt = Opt;
   SizeOpt.Vars = Vars;
-  // PeakDbmBytes is a gauge; zero it so this size reports its own peak
-  // rather than the largest matrix any earlier phase ever allocated.
-  closureCounters().PeakDbmBytes = 0;
-  ClosureCounters Before = closureCounters();
-  ZoneCounters ZoneBefore = zoneCounters();
-  NameTableCounters NamesBefore = nameTableCounters();
+  CounterSnapshot Before = CounterSnapshot::take();
   Clock::time_point Start = Clock::now();
   std::vector<Sample> Samples =
       runTrial<D>(Config::IncrementalAndDemand, SizeOpt, Opt.Seed);
@@ -214,9 +287,83 @@ SweepResult runSweepPoint(const Options &Opt, unsigned Vars) {
   R.AnalysisMs = 0;
   for (const Sample &S : Samples)
     R.AnalysisMs += S.Ms;
-  R.Closure = closureCounters() - Before;
-  R.Zone = zoneCounters() - ZoneBefore;
-  R.Names = nameTableCounters() - NamesBefore;
+  Before.deltaInto(R);
+  return R;
+}
+
+/// The staged sweep point: the identical seeded difference workload (wall
+/// time should track the zone's — escalation never triggers on it), then
+/// the SUM-CONSTRAINT QUERY PHASE: escalated queries at freshly sampled
+/// locations, each x + y answer lockstep-compared against a pure-octagon
+/// engine analyzing the same final program. Timed separately — the phase
+/// wall is the price of escalation, not of the incremental edit loop.
+SweepResult runStagedSweepPoint(const Options &Opt, unsigned Vars) {
+  Options SizeOpt = Opt;
+  SizeOpt.Vars = Vars;
+  CounterSnapshot Before = CounterSnapshot::take();
+
+  WorkloadOptions WOpts;
+  WOpts.Seed = Opt.Seed;
+  WOpts.QueriesPerEdit = SizeOpt.Queries;
+  WOpts.NumVars = Vars;
+  WorkloadGenerator Gen(WOpts);
+  Program Initial = Gen.makeInitialProgram();
+  InterprocEngine<StagedDomain> Engine(std::move(Initial), "main", /*K=*/0);
+
+  SweepResult R;
+  R.Domain = StagedDomain::name();
+  R.Vars = Vars;
+  Clock::time_point Start = Clock::now();
+  R.AnalysisMs = runIncrDemandEdits(Engine, Gen, SizeOpt, nullptr);
+  R.WallMs = msSince(Start); // the difference workload only
+
+  // Sum-constraint query phase. The escalation scope keeps escalated cells
+  // warm across queries: the first zone-only hit resets the instances and
+  // re-demands under full escalation; later queries reuse that slice.
+  // Only the STAGED side is inside the timed window — staged_sum_query_ms
+  // is the price of escalation, and the pure-octagon reference run below
+  // is lockstep-verification overhead a production analysis never pays.
+  std::vector<Loc> SumLocs =
+      Gen.sampleQueryLocations(Engine.program(), SizeOpt.Queries);
+  const std::vector<std::string> &Pool = Gen.varPool();
+  std::vector<std::vector<Interval>> StagedAnswers(SumLocs.size());
+  Clock::time_point SumStart = Clock::now();
+  {
+    StagedEscalationScope Scope;
+    for (size_t LI = 0; LI < SumLocs.size(); ++LI) {
+      Staged SV = queryEscalatedMain(Engine, SumLocs[LI]);
+      if (SV.escalated())
+        ++R.EscalatedLocs;
+      for (size_t I = 0; I + 1 < Pool.size(); I += 2)
+        StagedAnswers[LI].push_back(SV.sumBounds(
+            internSymbol(Pool[I]), internSymbol(Pool[I + 1])));
+    }
+  }
+  R.SumQueryMs = msSince(SumStart);
+  // Close the counter window HERE: the verification engine below is
+  // lockstep overhead, not staged analysis work.
+  Before.deltaInto(R);
+
+  // Untimed lockstep verification against a fresh pure-octagon engine.
+  InterprocEngine<OctagonDomain> Ref(Engine.program(), "main", /*K=*/0);
+  for (size_t LI = 0; LI < SumLocs.size(); ++LI) {
+    Octagon OV = Ref.queryMain(SumLocs[LI]);
+    for (size_t I = 0, P = 0; I + 1 < Pool.size(); I += 2, ++P) {
+      const Interval &S1 = StagedAnswers[LI][P];
+      Interval S2 = OV.isBottom() ? Interval::empty()
+                                  : OV.closedView().sumBounds(
+                                        internSymbol(Pool[I]),
+                                        internSymbol(Pool[I + 1]));
+      ++R.SumQueries;
+      if (S1 == S2)
+        continue;
+      if (S2.subsumes(S1))
+        ++R.SumTighter; // zone-side pruning: sound, strictly tighter
+      else
+        ++R.SumMismatches; // NOT octagon-exact: a real divergence
+    }
+  }
+
   return R;
 }
 
@@ -286,10 +433,13 @@ int main(int argc, char **argv) {
         Opt.Domain = DomainChoice::Octagon;
       else if (!std::strcmp(V, "zone"))
         Opt.Domain = DomainChoice::Zone;
+      else if (!std::strcmp(V, "staged"))
+        Opt.Domain = DomainChoice::Staged;
       else if (!std::strcmp(V, "both"))
         Opt.Domain = DomainChoice::Both;
       else {
-        std::fprintf(stderr, "--domain must be octagon, zone, or both\n");
+        std::fprintf(stderr,
+                     "--domain must be octagon, zone, staged, or both\n");
         return 1;
       }
     } else if (!std::strcmp(argv[I], "--json")) {
@@ -320,7 +470,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--edits N] [--trials N] [--queries N] "
                    "[--seed S] [--vars N] [--no-batch] "
-                   "[--domain octagon|zone|both] [--json PATH] "
+                   "[--domain octagon|zone|staged|both] [--json PATH] "
                    "[--no-json] [--sizes N,N,...]\n",
                    argv[0]);
       return 1;
@@ -328,13 +478,16 @@ int main(int argc, char **argv) {
   }
 
   // The Fig. 10 config table reproduces the PAPER's study, which is an
-  // octagon study — it runs the zone instead only on explicit request.
-  // --domain both (the default) affects the per-size SWEEP below.
+  // octagon study — it runs the zone or staged domain instead only on
+  // explicit request. --domain both (the default) affects the per-size
+  // SWEEP below.
   const bool TableIsZone = Opt.Domain == DomainChoice::Zone;
+  const bool TableIsStaged = Opt.Domain == DomainChoice::Staged;
   std::printf("# Fig. 10 reproduction: %s domain, %u edits x %u trials, "
               "%u queries between edits, seed %llu\n",
-              TableIsZone ? "zone" : "octagon", Opt.Edits, Opt.Trials,
-              Opt.Queries, static_cast<unsigned long long>(Opt.Seed));
+              TableIsZone ? "zone" : (TableIsStaged ? "staged" : "octagon"),
+              Opt.Edits, Opt.Trials, Opt.Queries,
+              static_cast<unsigned long long>(Opt.Seed));
   std::printf("# Edit mix: 85%% statement / 10%% if / 5%% while insertions "
               "(Section 7.3)\n\n");
 
@@ -346,8 +499,10 @@ int main(int argc, char **argv) {
   Configs.push_back(Config::IncrementalAndDemand);
 
   std::vector<ConfigResult> Results =
-      TableIsZone ? runConfigs<ZoneDomain>(Configs, Opt)
-                  : runConfigs<OctagonDomain>(Configs, Opt);
+      TableIsZone
+          ? runConfigs<ZoneDomain>(Configs, Opt)
+          : (TableIsStaged ? runConfigs<StagedDomain>(Configs, Opt)
+                           : runConfigs<OctagonDomain>(Configs, Opt));
 
   // Scatter series (Fig. 10's four per-configuration plots).
   for (const ConfigResult &R : Results) {
@@ -409,16 +564,30 @@ int main(int argc, char **argv) {
   // explaining it. The identical seeded workload runs through both domains,
   // so the counters are directly comparable per size.
   std::vector<SweepResult> Sweep;
+  const bool WantOctagon = Opt.Domain == DomainChoice::Octagon ||
+                           Opt.Domain == DomainChoice::Both;
+  const bool WantZone =
+      Opt.Domain == DomainChoice::Zone || Opt.Domain == DomainChoice::Both;
+  const bool WantStaged = Opt.Domain == DomainChoice::Staged ||
+                          Opt.Domain == DomainChoice::Both;
   for (unsigned V : Opt.SweepSizes) {
-    if (Opt.Domain != DomainChoice::Zone) {
+    if (WantOctagon) {
       Sweep.push_back(runSweepPoint<OctagonDomain>(Opt, V));
       std::fprintf(stderr, "sweep octagon vars=%u done (%.1f ms)\n", V,
                    Sweep.back().WallMs);
     }
-    if (Opt.Domain != DomainChoice::Octagon) {
+    if (WantZone) {
       Sweep.push_back(runSweepPoint<ZoneDomain>(Opt, V));
       std::fprintf(stderr, "sweep zone vars=%u done (%.1f ms)\n", V,
                    Sweep.back().WallMs);
+    }
+    if (WantStaged) {
+      Sweep.push_back(runStagedSweepPoint(Opt, V));
+      std::fprintf(stderr,
+                   "sweep staged vars=%u done (%.1f ms + %.1f ms sum phase, "
+                   "%llu mismatches)\n",
+                   V, Sweep.back().WallMs, Sweep.back().SumQueryMs,
+                   static_cast<unsigned long long>(Sweep.back().SumMismatches));
     }
   }
 
@@ -458,6 +627,30 @@ int main(int argc, char **argv) {
   for (size_t SI = 0; SI < Sweep.size(); ++SI) {
     const SweepResult &S = Sweep[SI];
     const char *Sep = SI + 1 < Sweep.size() ? "," : "";
+    if (std::strcmp(S.Domain, "staged") == 0) {
+      // Staged rows carry ONLY staged_-prefixed counter fields so the gate
+      // script's per-field largest-size scan never conflates them with the
+      // octagon/zone rows at the same sweep size.
+      std::fprintf(
+          F,
+          "    {\"domain\": \"staged\", \"vars\": %u, \"wall_ms\": %.3f, "
+          "\"analysis_ms\": %.3f, \"staged_escalations\": %llu, "
+          "\"staged_oct_seeds\": %llu, \"staged_escalated_transfers\": %llu, "
+          "\"staged_zone_transfers\": %llu, \"staged_sum_queries\": %llu, "
+          "\"staged_sum_query_ms\": %.3f, \"staged_sum_mismatches\": %llu, "
+          "\"staged_sum_tighter\": %llu, \"staged_escalated_locations\": "
+          "%llu}%s\n",
+          S.Vars, S.WallMs, S.AnalysisMs,
+          static_cast<unsigned long long>(S.Staged.Escalations),
+          static_cast<unsigned long long>(S.Staged.OctSeeds),
+          static_cast<unsigned long long>(S.Staged.EscalatedTransfers),
+          static_cast<unsigned long long>(S.Staged.ZoneTransfers),
+          static_cast<unsigned long long>(S.SumQueries), S.SumQueryMs,
+          static_cast<unsigned long long>(S.SumMismatches),
+          static_cast<unsigned long long>(S.SumTighter),
+          static_cast<unsigned long long>(S.EscalatedLocs), Sep);
+      continue;
+    }
     if (std::strcmp(S.Domain, "zone") == 0) {
       // Sparse-graph counters: closure_vertices_visited is the zone's
       // deterministic gate metric (the analogue of dbm_cells_touched).

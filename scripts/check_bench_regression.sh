@@ -2,11 +2,14 @@
 # check_bench_regression.sh — per-size perf gate for the Fig. 10 bench.
 #
 # Compares a freshly generated BENCH_fig10.json against the committed
-# baseline and FAILS (exit 1) when, at the LARGEST sweep size, either
+# baseline and FAILS (exit 1) when, at the LARGEST sweep size, any
 # relational domain's closure-work counter regressed by more than the
 # threshold (default 5%):
 #   - octagon: dbm_cells_touched   (dense half-matrix cells tightened)
 #   - zone:    zone_closure_vertices_visited (sparse-graph vertices scanned)
+#   - staged:  staged_escalated_transfers (dual-tier transfer evaluations —
+#     the octagon work the staged analysis actually paid; an escalation
+#     regression means more of the program runs the dense tier)
 #
 # Counters — not wall time — are the gate metrics: the workload is seeded
 # and the closure kernels are deterministic, so the counters are
@@ -19,9 +22,10 @@
 #
 # Plain POSIX sh + awk so it runs in any CI image; the JSON it parses is
 # the fixed shape bench_fig10_octagon_workload emits (one sizes-entry per
-# line, octagon entries carrying "dbm_cells_touched" and zone entries
-# "zone_closure_vertices_visited"). A baseline predating the zone domain
-# simply skips the zone gate.
+# line, octagon entries carrying "dbm_cells_touched", zone entries
+# "zone_closure_vertices_visited", and staged entries
+# "staged_escalated_transfers"). A baseline predating a domain simply
+# skips that domain's gate.
 
 set -eu
 
@@ -103,4 +107,20 @@ gate() {
 STATUS=0
 gate octagon dbm_cells_touched || STATUS=1
 gate zone zone_closure_vertices_visited || STATUS=1
+gate staged staged_escalated_transfers || STATUS=1
+
+# The staged rows also carry a built-in correctness verdict: the bench
+# lockstep-compares every escalated sum-constraint answer against a pure
+# octagon run, so a non-zero mismatch count in the FRESH json is an
+# exactness bug regardless of the baseline.
+MISMATCHES=$(awk '/"staged_sum_mismatches":/ {
+  m = $0; sub(/.*"staged_sum_mismatches":[ \t]*/, "", m); sub(/[^0-9].*/, "", m)
+  total += m + 0
+} END { print total + 0 }' "$FRESH")
+if [ "$MISMATCHES" -gt 0 ]; then
+  echo "FAIL [staged]: $MISMATCHES sum-constraint answers diverged from the pure-octagon run" >&2
+  STATUS=1
+else
+  echo "fig10 gate [staged]: 0 sum-constraint mismatches vs the pure-octagon run"
+fi
 exit $STATUS

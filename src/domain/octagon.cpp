@@ -539,6 +539,38 @@ Interval Octagon::boundsOf(const std::string &Var) const {
   return Sym == kNoSymbol ? Interval::top() : boundsOf(Sym);
 }
 
+Interval Octagon::sumBounds(SymbolId X, SymbolId Y) const {
+  assert(!Bottom && "sumBounds on ⊥");
+  assert(Closed && "sumBounds requires a closed receiver");
+  if (X == Y) {
+    Interval B = boundsOf(X);
+    return B.add(B); // 2x
+  }
+  size_t I = varIndex(X), J = varIndex(Y);
+  if (I == npos || J == npos)
+    return boundsOf(X).add(boundsOf(Y)); // at least one operand is ⊤
+  // (+x) − (−y) = x + y ≤ at(2j+1, 2i); (−x) − (+y) = −x − y ≤ at(2j, 2i+1).
+  int64_t Up = at(2 * J + 1, 2 * I);
+  int64_t Dn = at(2 * J, 2 * I + 1);
+  return Interval::range(Dn == Inf ? Interval::kNegInf : -Dn,
+                         Up == Inf ? Interval::kPosInf : Up);
+}
+
+Interval Octagon::diffBounds(SymbolId X, SymbolId Y) const {
+  assert(!Bottom && "diffBounds on ⊥");
+  assert(Closed && "diffBounds requires a closed receiver");
+  if (X == Y)
+    return Interval::constant(0);
+  size_t I = varIndex(X), J = varIndex(Y);
+  if (I == npos || J == npos)
+    return boundsOf(X).sub(boundsOf(Y));
+  // (+x) − (+y) = x − y ≤ at(2j, 2i); (−x) − (−y) = y − x ≤ at(2j+1, 2i+1).
+  int64_t Up = at(2 * J, 2 * I);
+  int64_t Dn = at(2 * J + 1, 2 * I + 1);
+  return Interval::range(Dn == Inf ? Interval::kNegInf : -Dn,
+                         Up == Inf ? Interval::kPosInf : Up);
+}
+
 bool Octagon::entailsEntrywise(const Octagon &O) const {
   // "this" must be closed; checks closed(this) ⊑ O entrywise over O's vars.
   // Sweeping O's STORED cells covers every logical entry: both matrices are

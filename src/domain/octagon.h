@@ -102,6 +102,22 @@ namespace dai {
 
 /// An octagon abstract value: ⊥, or a coherent half-matrix DBM over a
 /// variable list sorted by SymbolId.
+///
+/// \invariant COHERENCE INVOLUTION: logically m[i][j] = m[j̄][ī] (writing
+///   ī for i^1, the sign flip of a doubled index) — the same ±x±y
+///   constraint read through both sign orientations. Storage keeps exactly
+///   one representative per coherence orbit (the cells with j ≤ i|1), so
+///   coherence is STRUCTURAL: no write through set()/at() can ever
+///   desynchronize the two orientations, because they are one stored cell.
+///   matPos2 is the canonicalizing index map.
+/// \invariant CLOSURE FLAG HONESTY: `Closed` is true only when the matrix
+///   is strongly closed (pairwise path closure + unary strengthening +
+///   emptiness check). Every value-changing write clears it; see the
+///   closure-discipline notes above for who may re-establish it and how.
+/// \invariant COPY-ON-WRITE: the matrix buffer (with its derived caches —
+///   cached closure, normalized hash) is shared across copies until a
+///   mutation un-shares it; the first sharer to close or hash fills the
+///   cache for every other sharer.
 class Octagon {
 public:
   static constexpr int64_t kPosInf = INT64_MAX;
@@ -199,6 +215,8 @@ public:
 
   /// Strong closure (pairwise Floyd–Warshall + unary strengthening);
   /// detects emptiness and collapses to ⊥. Idempotent. O(n³).
+  /// \post isClosed() or isBottom(): every entry is the tightest bound the
+  ///       constraint system implies, so readers see exact values.
   void close();
 
   /// Incremental strong closure after addConstraint on a value that was
@@ -234,9 +252,25 @@ public:
   /// returned reference is invalidated by any mutation of this value.
   const Octagon &closedView() const;
 
-  /// Interval of variable \p Sym implied by this octagon (requires closed).
+  /// Interval of variable \p Sym implied by this octagon.
+  /// \pre !isBottom() and isClosed() (use closedView() first otherwise) —
+  ///      unclosed receivers return bounds looser than the stored
+  ///      constraints imply.
   Interval boundsOf(SymbolId Sym) const;
   Interval boundsOf(const std::string &Var) const;
+
+  /// Interval of the SUM x + y implied by this octagon — the ±x±y query the
+  /// zone tier cannot answer relationally (domain/staged.h escalates to this
+  /// reader). Reads the two sum cells directly: x + y ≤ at(2j+1, 2i) and
+  /// −x − y ≤ at(2j, 2i+1). Untracked operands contribute ⊤; X == Y returns
+  /// the doubled unary bound 2x.
+  /// \pre !isBottom() and isClosed().
+  Interval sumBounds(SymbolId X, SymbolId Y) const;
+
+  /// Interval of the DIFFERENCE x − y implied by this octagon; the octagon
+  /// analogue of composing Zone::constraintOn(Y, X) with its mirror.
+  /// \pre !isBottom() and isClosed().
+  Interval diffBounds(SymbolId X, SymbolId Y) const;
 
   /// Structural helpers used by the domain policy.
   bool entailsEntrywise(const Octagon &O) const;

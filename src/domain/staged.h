@@ -1,0 +1,213 @@
+//===-- domain/staged.h - Staged zone→octagon domain ------------*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged zone→octagon abstract domain: runs the cheap sparse zone
+/// (domain/zone.h) everywhere and materializes the dense octagon
+/// (domain/octagon.h) only where ±x±y (sum-constraint) precision is
+/// demanded — amortizing the octagon's O(n²) closure sweeps onto exactly
+/// the locations whose queries pay for them. The paper's demanded-
+/// evaluation model makes the escalation point a natural query boundary:
+/// escalation is "re-demand this query's slice with the octagon tier
+/// enabled", and the DAIG recomputes only what the query transitively
+/// needs.
+///
+/// Value shape: a `Staged` is a zone plus an OPTIONAL octagon tier
+/// (`Oct == nullptr` ⇔ zone-only). Every transfer/assume/join/widen runs
+/// on the zone; the octagon tier runs in lockstep only on ESCALATED values
+/// (and is created by one of the three escalation triggers below).
+///
+/// Escalation triggers:
+///  1. An `assume` whose guard is octagonal-but-not-zone (a ±x±y sum atom):
+///     the octagon tier is seeded on the spot from the zone's closed
+///     difference bounds plus residual intervals (seedOctagonFromZone), so
+///     the guard refines a relation the zone could not even store.
+///  2. Escalation mode (`StagedDomain::setEscalation` /
+///     `StagedEscalationScope`): while enabled, initialEntry produces
+///     escalated states and every transfer keeps both tiers — the mode the
+///     demand-driven re-evaluation of a precision query runs under.
+///  3. An explicit precision demand through `queryEscalatedMain`: if the
+///     cached value at the queried location is zone-only (or was escalated
+///     only through a mid-path seeding), the engine's instances are reset
+///     and the query's slice is re-demanded under escalation mode.
+///
+/// Reduction discipline (who flows into whom):
+///  - octagon → zone: at every dual-tier transfer boundary the octagon's
+///    implied UNARY bounds are imported into the zone (cheap: one
+///    incremental zone tightening per refined bound), and an octagon-⊥
+///    collapses the whole value to ⊥. Escalated locations therefore keep
+///    the zone tier at least as tight as the octagon's interval projection.
+///  - zone → octagon: DELIBERATELY OMITTED. The octagon tier is seeded
+///    from the zone once (at escalation) and then evolves independently,
+///    so under the full-escalation query protocol its values are equal to
+///    a pure-octagon analysis of the same slice — which is what lets the
+///    bench lockstep-verify staged sum-constraint answers against a pure
+///    octagon run, and what keeps reduction off the dense n² path.
+///
+/// Exactness contract: values computed entirely under escalation mode
+/// (initialEntry onward — the queryEscalatedMain reset protocol) carry an
+/// octagon tier equal to a pure-octagon demanded evaluation of the same
+/// query; sum-form queries on them are octagon-exact. Values escalated
+/// MID-PATH (trigger 1, or a zone-only cached cell feeding a dual-tier
+/// transfer under mode) are marked `Seeded`: sound, typically tight, but
+/// not guaranteed pure-octagon-equal — queryEscalatedMain re-demands them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_STAGED_H
+#define DAI_DOMAIN_STAGED_H
+
+#include "cfg/cfg.h"
+#include "domain/abstract_domain.h"
+#include "domain/octagon.h"
+#include "domain/zone.h"
+#include "support/statistics.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dai {
+
+/// A staged abstract value: a zone tier plus an optional octagon tier.
+///
+/// \invariant ⊥ is canonical: Z.isBottom() ⇒ Oct == nullptr. Every domain
+///   operation routes through reduction, which collapses an octagon-⊥ into
+///   the canonical form, so `Z.isBottom()` is the whole bottom test.
+/// \invariant Both tiers are independently sound over-approximations of
+///   the same concrete states; readers may intersect them.
+/// \invariant The octagon tier is shared copy-on-write (shared_ptr): DAIG
+///   cells and memo stores copy staged values far more often than they
+///   mutate them, and the tiers' own buffers are copy-on-write underneath.
+class Staged {
+public:
+  Zone Z;                             ///< The always-on cheap tier.
+  std::shared_ptr<const Octagon> Oct; ///< Escalated tier; null = zone-only.
+  /// True when the octagon tier (of this value or an ancestor) was seeded
+  /// mid-path rather than evaluated from an escalated entry state — see
+  /// the exactness contract in the file header. Part of equal()/hash()
+  /// like the escalation status: a pure and a seeded value must not share
+  /// a memo entry, or a post-reset re-evaluation could resurrect a stale
+  /// Seeded flag and make queryEscalatedMain re-demand the slice forever.
+  /// Propagation is monotone (once true in a chain, stays true), so fix
+  /// iterates still converge.
+  bool Seeded = false;
+
+  Staged() = default;
+
+  bool escalated() const { return Oct != nullptr; }
+  const Octagon &octagon() const {
+    assert(Oct && "octagon() on a zone-only value");
+    return *Oct;
+  }
+
+  /// Interval of \p Sym: the zone tier's bounds, intersected with the
+  /// octagon tier's when escalated. ⊥-safe (empty interval on ⊥).
+  Interval boundsOf(SymbolId Sym) const;
+  Interval boundsOf(const std::string &Var) const;
+
+  /// Interval of the SUM x + y — the query the zone cannot answer
+  /// relationally. On an escalated value this is the octagon tier's answer
+  /// (octagon-exact under the full-escalation protocol); on a zone-only
+  /// value it degrades to the interval sum of the zone's unary bounds.
+  /// Counted in StagedCounters::SumQueries. ⊥-safe.
+  Interval sumBounds(SymbolId X, SymbolId Y) const;
+
+  /// Interval of the DIFFERENCE x − y: the zone answers this natively; the
+  /// octagon tier tightens it further when escalated. ⊥-safe.
+  Interval diffBounds(SymbolId X, SymbolId Y) const;
+
+  std::string toString() const;
+};
+
+/// Seeds a strongly-closed octagon from \p Zv: the zone's closed difference
+/// bounds plus residual (unary) intervals, batch-added and re-closed with
+/// one k-pivot sweep. The seed entails exactly the zone's bounds — no
+/// precision lost (every zone constraint is an octagon constraint), no
+/// unsound tightening (strong closure over zone-representable constraints
+/// derives nothing beyond the zone's own closure; lockstep-tested).
+/// Counted in StagedCounters::OctSeeds.
+Octagon seedOctagonFromZone(const Zone &Zv);
+
+/// True when \p Cond contains a comparison atom that is octagonal but not
+/// zone-representable — a unit-coefficient SUM like x + y ≤ c (both
+/// coefficients of the normalized L − R form carry the same sign). These
+/// are the guards that trigger on-the-spot escalation.
+bool guardNeedsOctagon(const ExprPtr &Cond);
+
+/// The staged zone→octagon abstract domain policy (satisfies
+/// AbstractDomain). All operations act componentwise on the tiers present,
+/// with octagon→zone reduction at transfer/join/call boundaries (never
+/// after widening — re-tightening a widened iterate would re-grow dropped
+/// edges and defeat convergence).
+struct StagedDomain {
+  using Elem = Staged;
+
+  static Elem bottom();
+  static Elem initialEntry(const std::vector<std::string> &Params);
+  static Elem transfer(const Stmt &S, const Elem &In);
+  static Elem join(const Elem &A, const Elem &B);
+  static Elem widen(const Elem &Prev, const Elem &Next);
+  static bool leq(const Elem &A, const Elem &B);
+  static bool equal(const Elem &A, const Elem &B);
+  static uint64_t hash(const Elem &A);
+  static std::string toString(const Elem &A);
+  static const char *name() { return "staged"; }
+  static bool isBottom(const Elem &A);
+
+  static Elem enterCall(const Elem &Caller, const Stmt &CallSite,
+                        const std::vector<std::string> &CalleeParams);
+  static Elem exitCall(const Elem &Caller, const Elem &CalleeExit,
+                       const Stmt &CallSite);
+
+  /// Refines \p In under \p Cond on both tiers; an octagonal-not-zone
+  /// guard escalates a zone-only input first (trigger 1).
+  static Elem assume(const Elem &In, const ExprPtr &Cond);
+
+  /// Escalation mode (trigger 2): while true, initialEntry is escalated
+  /// and every transfer/join/call keeps both tiers. Thread-local, like the
+  /// counters — one analysis engine per thread.
+  static bool escalationEnabled();
+  static void setEscalation(bool On);
+};
+
+/// RAII escalation-mode scope for query-time precision demands.
+class StagedEscalationScope {
+public:
+  StagedEscalationScope() : Prev(StagedDomain::escalationEnabled()) {
+    StagedDomain::setEscalation(true);
+  }
+  ~StagedEscalationScope() { StagedDomain::setEscalation(Prev); }
+  StagedEscalationScope(const StagedEscalationScope &) = delete;
+  StagedEscalationScope &operator=(const StagedEscalationScope &) = delete;
+
+private:
+  bool Prev;
+};
+
+/// Precision-demand query (trigger 3): demands the state at \p L in the
+/// root instance of \p E (an InterprocEngine<StagedDomain>) with the
+/// octagon tier materialized. If the cached value is zone-only or only
+/// mid-path-seeded, the engine's instances are reset and the query's slice
+/// is re-demanded under escalation mode — the demanded-evaluation model
+/// recomputes exactly the slice the query needs, dual-tier, from escalated
+/// entry states, making the returned octagon tier pure-octagon-exact.
+/// Counted in StagedCounters::Escalations when a re-demand happens.
+template <typename EngineT>
+Staged queryEscalatedMain(EngineT &E, Loc L) {
+  Staged V = E.queryMain(L);
+  if (StagedDomain::isBottom(V) || (V.escalated() && !V.Seeded))
+    return V;
+  ++stagedCounters().Escalations;
+  StagedEscalationScope Scope;
+  E.resetAllInstances();
+  return E.queryMain(L);
+}
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_STAGED_H

@@ -839,6 +839,18 @@ IntervalState toIntervalState(const Zone &Z) {
   return S;
 }
 
+/// Interval of the linear form Σ cᵢ·vᵢ + C over the zone's per-variable
+/// bounds — the residual-interval evaluator of the zone-native affine
+/// assignment transformers (crab's diffcsts_of_assign). Requires \p Z
+/// closed (boundsOf needs tight unary edges). All arithmetic saturates
+/// through the Interval kernels.
+Interval intervalOfLin(const Zone &Z, const LinForm &F) {
+  Interval Acc = Interval::constant(F.Const);
+  for (const auto &[V, C] : F.Coeffs)
+    Acc = Acc.add(Z.boundsOf(V).mul(Interval::constant(C)));
+  return Acc;
+}
+
 /// Drops unconstrained dimensions so structurally distinct but equal values
 /// share a representation (memo-table reuse; equality itself is semantic).
 void normalize(Zone &Z) {
@@ -905,8 +917,66 @@ void evalAssign(Zone &Z, SymbolId X, const ExprPtr &E) {
     Z.rename(Tmp, X);
     return;
   }
-  // Interval fallback: bound x by the interval of e (evaluated in the
-  // PRE-state — x := −x + 1 must read the old x).
+  // Affine-but-not-zone-exact RHS (x := −y + c, x := y + z, …): the pure
+  // interval fallback used to havoc every relation here. Following crab's
+  // diffcsts_of_assign, derive DIFFERENCE bounds from residual intervals
+  // instead — for each variable y of e,  x − y ≤ ub(e − y)  and
+  // y − x ≤ ub(y − e), every residual evaluated in the PRE-state (the
+  // assigned x reads e's pre-state value; x := −x + 1 must read the old x,
+  // which is why residuals containing x use its OLD bounds and derived
+  // differences are restricted to y ≠ x). The zone keeps relational
+  // information exactly where it previously kept none, so the staged
+  // domain escalates to the octagon less often.
+  if (F.Ok) {
+    Interval I = intervalOfLin(Z, F);
+    if (I.isEmpty()) {
+      Z = Zone::bottomValue();
+      return;
+    }
+    struct DiffBound {
+      SymbolId Y;
+      int64_t Ub;
+      bool XMinusY; ///< true: x − Y ≤ Ub; false: Y − x ≤ Ub.
+    };
+    std::vector<DiffBound> Diffs;
+    for (const auto &[Y, CY] : F.Coeffs) {
+      (void)CY;
+      if (Y == X)
+        continue;
+      LinForm YF;
+      YF.Ok = true;
+      YF.Coeffs[Y] = 1;
+      Interval XmY = intervalOfLin(Z, F.plus(YF, -1)); // e − y
+      Interval YmX = intervalOfLin(Z, YF.plus(F, -1)); // y − e
+      if (!XmY.isEmpty() && XmY.hi() != Interval::kPosInf)
+        Diffs.push_back({Y, XmY.hi(), /*XMinusY=*/true});
+      if (!YmX.isEmpty() && YmX.hi() != Interval::kPosInf)
+        Diffs.push_back({Y, YmX.hi(), /*XMinusY=*/false});
+    }
+    if (I.isTop() && Diffs.empty()) {
+      Z.forgetAndRemove(X); // nothing derivable: drop the dimension
+      return;
+    }
+    for (const DiffBound &D : Diffs)
+      if (Z.varIndex(D.Y) == npos)
+        Z.addVar(D.Y);
+    havocOrAdd(X);
+    if (I.hi() != Interval::kPosInf)
+      Z.addUpperBound(X, I.hi());
+    if (!Z.isBottom() && I.lo() != Interval::kNegInf)
+      Z.addLowerBound(X, I.lo());
+    for (const DiffBound &D : Diffs) {
+      if (Z.isBottom())
+        return;
+      if (D.XMinusY)
+        Z.addDifference(X, D.Y, D.Ub);
+      else
+        Z.addDifference(D.Y, X, D.Ub);
+    }
+    return;
+  }
+  // Non-linear interval fallback: bound x by the interval of e (evaluated
+  // in the PRE-state).
   Interval I = IntervalDomain::eval(E, toIntervalState(Z)).Num;
   if (I.isEmpty()) {
     // e has NO possible value (e.g. a division by exactly zero): the

@@ -86,6 +86,20 @@ namespace dai {
 
 /// A zone abstract value: ⊥, or a sparse difference-bound graph over
 /// interned variable symbols plus the zero vertex.
+///
+/// \invariant POTENTIAL FUNCTION: every non-⊥ zone carries a potential π
+///   with π(v) − π(u) ≤ w for every stored edge u→v — a concrete model of
+///   the constraint system, i.e. a *feasibility certificate*. It is
+///   repaired at every constraint addition (Bellman–Ford from the edge
+///   head); repair failure IS ⊥, so emptiness is detected eagerly and no
+///   closure ever discovers it later. It also makes all closure sweeps
+///   Dijkstra-able via non-negative reduced costs w + π(u) − π(v).
+/// \invariant ⊥-SAFETY: every reader is total on ⊥ (boundsOf returns the
+///   EMPTY interval, constraintOn returns +∞, vars() is empty) — no
+///   npos-style sentinels leak out of degenerate states.
+/// \invariant COPY-ON-WRITE: the graph buffer (including the cached closure
+///   and normalized hash) is shared across copies until a mutation
+///   un-shares it; derived caches are invalidated by any mutation.
 class Zone {
 public:
   static constexpr int64_t kPosInf = INT64_MAX;
@@ -159,6 +173,9 @@ public:
   /// Demand-driven restricted closure: materializes every finite
   /// shortest-path entry by running closeEdgesFrom over the vertices that
   /// have out-edges. Idempotent; cost ∝ constrained subgraph.
+  /// \post isClosed() (or isBottom() was already true): every derivable
+  ///       difference/unary bound is stored as a direct edge, so readers
+  ///       (boundsOf, constraintOn, entails) see tight values.
   void close();
 
   /// Single-source restricted closure: one reduced-cost Dijkstra from
@@ -184,6 +201,23 @@ public:
   /// Closed-graph weight between two endpoints (kNoSymbol = zero vertex),
   /// kPosInf when unconstrained. The lockstep test oracle's probe.
   int64_t constraintOn(SymbolId U, SymbolId V) const;
+
+  /// Visits every stored constraint as (U, V, W) meaning x_V − x_U ≤ W,
+  /// where kNoSymbol stands for the zero vertex — so (kNoSymbol, v, c) is
+  /// the upper bound x_v ≤ c and (u, kNoSymbol, c) the lower bound
+  /// −x_u ≤ c. Visitation order is unspecified. This is the escalation
+  /// seeding surface of domain/staged.h: a closed receiver enumerates its
+  /// canonical (all-pairs shortest-path) constraint set, which is exactly
+  /// what an octagon seeded from this zone must entail.
+  /// \pre Callback is invocable as void(SymbolId, SymbolId, int64_t).
+  template <typename Callback> void forEachConstraint(Callback &&CB) const {
+    if (Bottom || !B)
+      return;
+    const GraphBuf &G = buf();
+    for (uint32_t U = 0; U < static_cast<uint32_t>(G.Out.size()); ++U)
+      for (const Edge &E : G.Out[U])
+        CB(G.SymOf[U], G.SymOf[E.Dst], E.W);
+  }
 
   /// The tracked symbols carrying at least one constraint (an incident
   /// edge) — normalize()'s keep-predicate, one sweep over the adjacency.

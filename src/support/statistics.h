@@ -181,6 +181,55 @@ inline ZoneCounters &zoneCounters() {
   return Counters;
 }
 
+/// Counters for the staged zone→octagon domain (domain/staged.h). The
+/// staged subsystem's claim is that octagon work is paid only where a query
+/// demands ±x±y precision: ZoneTransfers counts the transfers that skipped
+/// the octagon tier entirely (the avoided dense work), EscalatedTransfers
+/// the ones that ran both tiers, and Escalations the demand-driven slice
+/// re-evaluations triggered by precision queries. All deterministic on a
+/// seeded workload; EscalatedTransfers is the CI gate metric.
+///
+/// thread_local like ClosureCounters (one analysis engine per thread).
+struct StagedCounters {
+  uint64_t Escalations = 0;         ///< Demand-driven escalations: full
+                                    ///< re-demands of a query's slice with
+                                    ///< the octagon tier enabled.
+  uint64_t OctSeeds = 0;            ///< Octagon tiers seeded from a closed
+                                    ///< zone value (mid-path escalation).
+  uint64_t EscalatedTransfers = 0;  ///< Tier evaluations (transfer/assume)
+                                    ///< that ran BOTH tiers.
+  uint64_t ZoneTransfers = 0;       ///< Zone-only tier evaluations — each
+                                    ///< one is a dense octagon evaluation
+                                    ///< avoided.
+  uint64_t SumQueries = 0;          ///< ±x±y (sum-form) bounds queries.
+
+  void reset() { *this = StagedCounters(); }
+
+  StagedCounters operator-(const StagedCounters &O) const {
+    StagedCounters R;
+    R.Escalations = Escalations - O.Escalations;
+    R.OctSeeds = OctSeeds - O.OctSeeds;
+    R.EscalatedTransfers = EscalatedTransfers - O.EscalatedTransfers;
+    R.ZoneTransfers = ZoneTransfers - O.ZoneTransfers;
+    R.SumQueries = SumQueries - O.SumQueries;
+    return R;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS, const StagedCounters &C) {
+  OS << "{escalations=" << C.Escalations << " octSeeds=" << C.OctSeeds
+     << " escalatedTransfers=" << C.EscalatedTransfers
+     << " zoneTransfers=" << C.ZoneTransfers
+     << " sumQueries=" << C.SumQueries << "}";
+  return OS;
+}
+
+/// The thread's staged-domain counter sink (see StagedCounters).
+inline StagedCounters &stagedCounters() {
+  static thread_local StagedCounters Counters;
+  return Counters;
+}
+
 /// Counters for the global hash-consed NameTable (daig/name.h). Name
 /// construction sits on the hot path of every edit and query (Fig. 6 names
 /// resolve DAIG cells and memo entries), so benches report these alongside

@@ -80,6 +80,11 @@ public:
 
   Rng &rng() { return R; }
 
+  /// The variable pool the generator draws from ("v0" … "vN−1") — exposed
+  /// so benches and tests can issue queries over the same names (e.g. the
+  /// staged domain's sum-constraint query set).
+  const std::vector<std::string> &varPool() const { return Vars; }
+
 private:
   WorkloadOptions Opts;
   Rng R;

@@ -1,0 +1,357 @@
+//===-- tests/staged_domain_test.cpp - Staged zone→octagon tests ----------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the staged zone→octagon domain (domain/staged.h):
+///  - escalation SEEDING: an octagon seeded from a closed zone entails the
+///    zone's bounds EXACTLY — every unary and difference bound equal, no
+///    precision lost, no unsound tightening (randomized over constraint
+///    chains);
+///  - escalation TRIGGERS: octagonal-not-zone assume guards escalate,
+///    zone-representable guards do not, and escalation persists through
+///    subsequent transfers with the tiers reduced (octagon-implied unary
+///    bounds visible in the zone tier);
+///  - the EXACTNESS contract: on generated workload programs, escalated
+///    sum-constraint queries through the demanded interprocedural engine
+///    match a pure-octagon engine's answers (the Fig. 10 bench's lockstep
+///    claim, exercised here deterministically).
+///
+//===----------------------------------------------------------------------===//
+
+#include "domain/staged.h"
+
+#include "interproc/engine.h"
+#include "support/rng.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dai;
+
+namespace {
+
+constexpr size_t npos = static_cast<size_t>(-1);
+constexpr int64_t Inf = Zone::kPosInf;
+
+static_assert(AbstractDomain<StagedDomain>,
+              "StagedDomain must satisfy the Section 3 domain concept");
+
+std::vector<SymbolId> universe() {
+  std::vector<SymbolId> U;
+  for (const char *N : {"a", "b", "c", "d", "e"})
+    U.push_back(internSymbol(N));
+  return U;
+}
+
+ExprPtr var(const std::string &N) { return Expr::mkVar(N); }
+ExprPtr lit(int64_t C) { return Expr::mkInt(C); }
+
+/// x + y ≤ c — the octagonal-not-zone guard shape.
+ExprPtr sumLe(const std::string &X, const std::string &Y, int64_t C) {
+  return Expr::mkBinary(BinaryOp::Le,
+                        Expr::mkBinary(BinaryOp::Add, var(X), var(Y)),
+                        lit(C));
+}
+
+/// x − y ≤ c — zone-representable.
+ExprPtr diffLe(const std::string &X, const std::string &Y, int64_t C) {
+  return Expr::mkBinary(BinaryOp::Le,
+                        Expr::mkBinary(BinaryOp::Sub, var(X), var(Y)),
+                        lit(C));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Seeding: zone → octagon with zero precision drift
+//===----------------------------------------------------------------------===//
+
+class SeedLockstepSeed : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedLockstepSeed, SeededOctagonEntailsZoneBoundsExactly) {
+  Rng R(GetParam());
+  std::vector<SymbolId> U = universe();
+  auto randSym = [&] { return U[R.below(U.size())]; };
+  auto randC = [&] { return static_cast<int64_t>(R.below(41)) - 20; };
+
+  Zone Z = Zone::top();
+  for (unsigned Step = 0; Step < 120; ++Step) {
+    if (Z.isBottom())
+      Z = Zone::top();
+    SymbolId X = randSym(), Y = randSym();
+    if (Z.varIndex(X) == npos)
+      Z.addVar(X);
+    if (Z.varIndex(Y) == npos)
+      Z.addVar(Y);
+    switch (R.below(3)) {
+    case 0:
+      Z.addUpperBound(X, randC());
+      break;
+    case 1:
+      Z.addLowerBound(X, randC());
+      break;
+    default:
+      if (X != Y)
+        Z.addDifference(X, Y, randC());
+      break;
+    }
+    if (Z.isBottom())
+      continue;
+    const Zone &C = Z.closedView();
+    Octagon O = seedOctagonFromZone(Z);
+    ASSERT_FALSE(O.isBottom()) << "feasible zone seeded ⊥ at step " << Step;
+    ASSERT_TRUE(O.isClosed());
+    for (SymbolId V : C.vars()) {
+      // Unary bounds: equal, not merely entailed — seeding must not lose
+      // precision, and strong closure over zone-representable constraints
+      // must not manufacture tighter unary bounds than the zone's own
+      // closure (every cross-sign octagon path factors through the zero
+      // vertex the zone already closed over).
+      EXPECT_EQ(O.boundsOf(V), C.boundsOf(V))
+          << "unary drift on " << symbolName(V) << " at step " << Step;
+      for (SymbolId W : C.vars()) {
+        if (V == W)
+          continue;
+        int64_t ZUb = C.constraintOn(W, V); // v − w ≤ ZUb
+        Interval OD = O.diffBounds(V, W);
+        int64_t OUb = OD.hi() == Interval::kPosInf ? Inf : OD.hi();
+        EXPECT_EQ(OUb, ZUb) << "difference drift on " << symbolName(V)
+                            << " - " << symbolName(W) << " at step " << Step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedLockstepSeed,
+                         ::testing::Values(3u, 17u, 42u, 20260728u));
+
+TEST(StagedSeedTest, SeedOfBottomAndTop) {
+  EXPECT_TRUE(seedOctagonFromZone(Zone::bottomValue()).isBottom());
+  Octagon O = seedOctagonFromZone(Zone::top());
+  EXPECT_FALSE(O.isBottom());
+  EXPECT_TRUE(O.isClosed());
+  EXPECT_EQ(O.numVars(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Escalation triggers and reduction
+//===----------------------------------------------------------------------===//
+
+TEST(StagedDomainTest, GuardClassification) {
+  EXPECT_TRUE(guardNeedsOctagon(sumLe("x", "y", 3)));
+  EXPECT_FALSE(guardNeedsOctagon(diffLe("x", "y", 3)));
+  EXPECT_FALSE(guardNeedsOctagon(
+      Expr::mkBinary(BinaryOp::Le, var("x"), lit(3))));
+  // −x − y ≤ c is the same-sign shape with negative units.
+  EXPECT_TRUE(guardNeedsOctagon(Expr::mkBinary(
+      BinaryOp::Ge, Expr::mkBinary(BinaryOp::Add, var("x"), var("y")),
+      lit(0))));
+  // Nested under And/Or/Not.
+  EXPECT_TRUE(guardNeedsOctagon(Expr::mkBinary(
+      BinaryOp::And, diffLe("x", "y", 1), sumLe("x", "y", 3))));
+  EXPECT_TRUE(guardNeedsOctagon(
+      Expr::mkUnary(UnaryOp::Not, sumLe("x", "y", 3))));
+  // Disequality falls back to intervals in both tiers: no escalation —
+  // including the negated-equality spelling, which assume() evaluates as
+  // a Ne atom.
+  EXPECT_FALSE(guardNeedsOctagon(Expr::mkBinary(
+      BinaryOp::Ne, Expr::mkBinary(BinaryOp::Add, var("x"), var("y")),
+      lit(3))));
+  EXPECT_FALSE(guardNeedsOctagon(Expr::mkUnary(
+      UnaryOp::Not,
+      Expr::mkBinary(BinaryOp::Eq,
+                     Expr::mkBinary(BinaryOp::Add, var("x"), var("y")),
+                     lit(3)))));
+}
+
+TEST(StagedDomainTest, OctagonalGuardEscalatesAndAnswersSum) {
+  Staged V = StagedDomain::initialEntry({});
+  ASSERT_FALSE(V.escalated());
+  V = StagedDomain::assume(V, Expr::mkBinary(BinaryOp::Ge, var("x"), lit(0)));
+  V = StagedDomain::assume(V, Expr::mkBinary(BinaryOp::Ge, var("y"), lit(0)));
+  EXPECT_FALSE(V.escalated()) << "zone-representable guards must not escalate";
+  Staged E = StagedDomain::assume(V, sumLe("x", "y", 3));
+  ASSERT_TRUE(E.escalated());
+  EXPECT_TRUE(E.Seeded) << "mid-path escalation must be marked Seeded";
+  SymbolId X = internSymbol("x"), Y = internSymbol("y");
+  EXPECT_EQ(E.sumBounds(X, Y), Interval::range(0, 3));
+  // The zone tier alone cannot store x + y ≤ 3: its degraded sum answer on
+  // the un-escalated input stays unbounded above.
+  EXPECT_EQ(V.sumBounds(X, Y).hi(), Interval::kPosInf);
+}
+
+TEST(StagedDomainTest, ReductionImportsOctagonUnaryBoundsIntoZone) {
+  // x − y ≤ 0 is zone-knowledge; x + y ≤ 4 is octagon-only. Together they
+  // imply 2x ≤ 4. After the escalating assume, the octagon→zone reduction
+  // must make x ≤ 2 visible in the ZONE tier.
+  Staged V = StagedDomain::initialEntry({});
+  V = StagedDomain::assume(V, diffLe("x", "y", 0));
+  ASSERT_FALSE(V.escalated());
+  Staged E = StagedDomain::assume(V, sumLe("x", "y", 4));
+  ASSERT_TRUE(E.escalated());
+  EXPECT_EQ(E.Z.closedView().boundsOf(std::string("x")).hi(), 2);
+}
+
+TEST(StagedDomainTest, EscalationPersistsThroughTransfers) {
+  Staged E = StagedDomain::assume(StagedDomain::initialEntry({}),
+                                  sumLe("x", "y", 5));
+  ASSERT_TRUE(E.escalated());
+  // An octagonal assignment (z := −x + 1) on an escalated state keeps both
+  // tiers: the octagon tracks z + x = 1 exactly.
+  Staged T = StagedDomain::transfer(
+      Stmt::mkAssign("z", Expr::mkBinary(BinaryOp::Add,
+                                         Expr::mkUnary(UnaryOp::Neg,
+                                                       var("x")),
+                                         lit(1))),
+      E);
+  ASSERT_TRUE(T.escalated());
+  SymbolId Z = internSymbol("z"), X = internSymbol("x");
+  EXPECT_EQ(T.sumBounds(Z, X), Interval::constant(1));
+  // A zone-only value stays zone-only through the same transfer.
+  Staged P = StagedDomain::transfer(Stmt::mkSkip(),
+                                    StagedDomain::initialEntry({}));
+  EXPECT_FALSE(P.escalated());
+}
+
+TEST(StagedDomainTest, BottomIsCanonicalAndOperationsAreBottomSafe) {
+  Staged Bot = StagedDomain::bottom();
+  EXPECT_TRUE(StagedDomain::isBottom(Bot));
+  EXPECT_FALSE(Bot.escalated());
+  EXPECT_TRUE(Bot.sumBounds(internSymbol("x"), internSymbol("y")).isEmpty());
+  EXPECT_TRUE(Bot.boundsOf(std::string("x")).isEmpty());
+  // A contradicting octagonal guard collapses the WHOLE value (the zone
+  // tier cannot see the contradiction itself).
+  Staged V = StagedDomain::initialEntry({});
+  V = StagedDomain::assume(V, Expr::mkBinary(BinaryOp::Ge, var("x"), lit(3)));
+  V = StagedDomain::assume(V, Expr::mkBinary(BinaryOp::Ge, var("y"), lit(3)));
+  Staged E = StagedDomain::assume(V, sumLe("x", "y", 5));
+  EXPECT_TRUE(StagedDomain::isBottom(E));
+  EXPECT_FALSE(E.escalated()) << "⊥ must collapse to the canonical form";
+  // Lattice ops respect ⊥.
+  EXPECT_TRUE(StagedDomain::leq(Bot, V));
+  EXPECT_FALSE(StagedDomain::leq(V, Bot));
+  EXPECT_TRUE(StagedDomain::equal(StagedDomain::join(Bot, V), V));
+}
+
+TEST(StagedDomainTest, HashAgreesWithEqualAcrossEscalationStatus) {
+  Staged A = StagedDomain::assume(StagedDomain::initialEntry({}),
+                                  diffLe("x", "y", 2));
+  Staged B = StagedDomain::assume(StagedDomain::initialEntry({}),
+                                  diffLe("x", "y", 2));
+  EXPECT_TRUE(StagedDomain::equal(A, B));
+  EXPECT_EQ(StagedDomain::hash(A), StagedDomain::hash(B));
+  // Escalating one side changes its identity (status is part of equality),
+  // so the unequal pair may — and here must — hash apart.
+  Staged AE = StagedDomain::assume(A, sumLe("x", "y", 100));
+  ASSERT_TRUE(AE.escalated());
+  EXPECT_FALSE(StagedDomain::equal(AE, B));
+  Staged AE2 = StagedDomain::assume(B, sumLe("x", "y", 100));
+  EXPECT_TRUE(StagedDomain::equal(AE, AE2));
+  EXPECT_EQ(StagedDomain::hash(AE), StagedDomain::hash(AE2));
+}
+
+//===----------------------------------------------------------------------===//
+// Demanded escalation through the interprocedural engine: the exactness
+// contract (the bench's lockstep claim, deterministic here)
+//===----------------------------------------------------------------------===//
+
+class EscalatedQuerySeed : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EscalatedQuerySeed, EscalatedSumQueriesMatchPureOctagonRun) {
+  WorkloadOptions WOpts;
+  WOpts.Seed = GetParam();
+  WOpts.NumVars = 6;
+  WorkloadGenerator Gen(WOpts);
+  Program P = Gen.makeInitialProgram();
+  for (unsigned Edit = 0; Edit < 40; ++Edit)
+    Gen.applyRandomEdit(P);
+
+  InterprocEngine<StagedDomain> SE(P, "main", 0);
+  InterprocEngine<OctagonDomain> OE(P, "main", 0);
+  ASSERT_TRUE(SE.valid());
+  ASSERT_TRUE(OE.valid());
+
+  std::vector<Loc> Locs = Gen.sampleQueryLocations(P, 8);
+  const std::vector<std::string> &Pool = Gen.varPool();
+  StagedEscalationScope Scope; // keep escalated cells warm across queries
+  for (Loc L : Locs) {
+    Staged SV = queryEscalatedMain(SE, L);
+    Octagon OV = OE.queryMain(L);
+    for (size_t I = 0; I + 1 < Pool.size(); I += 2) {
+      SymbolId A = internSymbol(Pool[I]), B = internSymbol(Pool[I + 1]);
+      Interval S1 = SV.sumBounds(A, B);
+      Interval S2 = OV.isBottom() ? Interval::empty()
+                                  : OV.closedView().sumBounds(A, B);
+      if (StagedDomain::isBottom(SV)) {
+        // The zone tier may prove infeasibility the octagon misses (its
+        // affine assignment transformers track relations the octagon's
+        // interval fallback drops) — a sound improvement, never a drift.
+        EXPECT_TRUE(S1.isEmpty());
+        continue;
+      }
+      ASSERT_TRUE(SV.escalated())
+          << "escalated query returned a zone-only value at loc " << L;
+      EXPECT_FALSE(SV.Seeded)
+          << "escalated query returned a mid-path-seeded value at loc " << L;
+      if (S1 == S2)
+        continue;
+      // The one permitted divergence (same classification as the bench's
+      // staged_sum_tighter): the zone's affine transformers can prove a
+      // branch infeasible that the octagon's interval fallback cannot, and
+      // the staged join then soundly drops it — strictly TIGHTER answers
+      // are allowed, looser or incomparable ones never are.
+      EXPECT_TRUE(S2.subsumes(S1))
+          << "sum(" << Pool[I] << ", " << Pool[I + 1]
+          << ") diverged non-soundly from the pure octagon at loc " << L
+          << ": staged " << S1.toString() << " vs octagon " << S2.toString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscalatedQuerySeed,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(StagedEngineTest, QueryEscalatedMainEscalatesOnlyOnDemand) {
+  // A straight-line program whose sum information comes from an octagonal
+  // assignment (b := −a + 10): the zone loses a + b = 10, the escalated
+  // query recovers it exactly.
+  WorkloadOptions WOpts;
+  WOpts.Seed = 5;
+  WorkloadGenerator Gen(WOpts); // only used for program scaffolding
+  Program P = Gen.makeInitialProgram();
+  Function *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  Loc Cur = Main->Body.entry();
+  auto append = [&](Stmt S) {
+    InsertResult R = insertStmtAt(Main->Body, Cur, std::move(S));
+    Cur = R.HammockExit;
+  };
+  append(Stmt::mkAssign("a", lit(4)));
+  append(Stmt::mkAssign("b", Expr::mkBinary(
+                                  BinaryOp::Add,
+                                  Expr::mkUnary(UnaryOp::Neg, var("a")),
+                                  lit(10))));
+
+  InterprocEngine<StagedDomain> SE(P, "main", 0);
+  ASSERT_TRUE(SE.valid());
+  StagedCounters Before = stagedCounters();
+  Staged Plain = SE.queryMain(Cur);
+  EXPECT_FALSE(Plain.escalated()) << "plain queries must stay zone-only";
+  // a is constant, so even the zone pins the sum here; the point is the
+  // octagon tier is NOT materialized until demanded.
+  Staged E = queryEscalatedMain(SE, Cur);
+  ASSERT_TRUE(E.escalated());
+  EXPECT_EQ(E.sumBounds(internSymbol("a"), internSymbol("b")),
+            Interval::constant(10));
+  StagedCounters Delta = stagedCounters() - Before;
+  EXPECT_EQ(Delta.Escalations, 1u);
+  EXPECT_GT(Delta.ZoneTransfers, 0u);
+  // A second demand on the same location reuses the escalated cell.
+  StagedCounters Before2 = stagedCounters();
+  Staged E2 = queryEscalatedMain(SE, Cur);
+  EXPECT_TRUE(E2.escalated());
+  EXPECT_EQ((stagedCounters() - Before2).Escalations, 0u);
+}

@@ -551,9 +551,12 @@ TEST(ZoneDomainTest, NonlinearRhsHavocsTarget) {
             Interval::constant(9));
 }
 
-TEST(ZoneDomainTest, NegatedVarRhsRoutesThroughIntervalFallback) {
-  // x := −y + 2 is octagonal but NOT a zone form; the fallback must still
-  // bound it from y's interval.
+TEST(ZoneDomainTest, NegatedVarRhsKeepsDerivedDifferences) {
+  // x := −y + 2 is octagonal but NOT a zone form. The affine transformer
+  // (crab diffcsts_of_assign) must keep the unary bounds the old interval
+  // fallback derived AND the residual difference bounds it dropped:
+  //   x − y ≤ ub(e − y) = ub(−2y + 2) = 2 − 2·lb(y) = 2
+  //   y − x ≤ ub(y − e) = ub(2y − 2) = 2·ub(y) − 2 = 8
   Zone Z = Zone::top();
   Z.addVar(std::string("y"));
   Z.addLowerBound(internSymbol("y"), 0);
@@ -565,8 +568,89 @@ TEST(ZoneDomainTest, NegatedVarRhsRoutesThroughIntervalFallback) {
                                                   Expr::mkVar("y")),
                                     Expr::mkInt(2))),
       Z);
-  EXPECT_EQ(Out.closedView().boundsOf(std::string("x")),
-            Interval::range(-3, 2));
+  const Zone &C = Out.closedView();
+  EXPECT_EQ(C.boundsOf(std::string("x")), Interval::range(-3, 2));
+  SymbolId X = internSymbol("x"), Y = internSymbol("y");
+  EXPECT_EQ(C.constraintOn(Y, X), 2); // x − y ≤ 2
+  EXPECT_EQ(C.constraintOn(X, Y), 8); // y − x ≤ 8
+}
+
+TEST(ZoneDomainTest, TwoVarSumRhsKeepsDerivedDifferences) {
+  // x := y + z has two unit coefficients — zone-inexact (a difference needs
+  // one +1 and one −1). The derived bounds are x − y ≤ ub(z), x − z ≤ ub(y)
+  // and their mirrors; the interval fallback this replaces kept NO relation.
+  Zone Z = Zone::top();
+  for (const char *N : {"y", "z"})
+    Z.addVar(std::string(N));
+  SymbolId Y = internSymbol("y"), Zs = internSymbol("z");
+  Z.addLowerBound(Y, 1);
+  Z.addUpperBound(Y, 3);
+  Z.addLowerBound(Zs, 0);
+  Z.addUpperBound(Zs, 4);
+  Zone Out = ZoneDomain::transfer(
+      Stmt::mkAssign("x", Expr::mkBinary(BinaryOp::Add, Expr::mkVar("y"),
+                                         Expr::mkVar("z"))),
+      Z);
+  const Zone &C = Out.closedView();
+  SymbolId X = internSymbol("x");
+  EXPECT_EQ(C.boundsOf(std::string("x")), Interval::range(1, 7));
+  EXPECT_EQ(C.constraintOn(Y, X), 4);   // x − y ≤ ub(z) = 4
+  EXPECT_EQ(C.constraintOn(Zs, X), 3);  // x − z ≤ ub(y) = 3
+  EXPECT_EQ(C.constraintOn(X, Y), 0);   // y − x ≤ −lb(z) = 0
+  EXPECT_EQ(C.constraintOn(X, Zs), -1); // z − x ≤ −lb(y) = −1
+}
+
+TEST(ZoneDomainTest, SelfReferentialAffineRhsReadsPreState) {
+  // x := x − y: residuals containing x must use its PRE-state bounds, and
+  // derived differences relate the NEW x to the (unchanged) y only.
+  Zone Z = Zone::top();
+  for (const char *N : {"x", "y"})
+    Z.addVar(std::string(N));
+  SymbolId X = internSymbol("x"), Y = internSymbol("y");
+  Z.addLowerBound(X, 0);
+  Z.addUpperBound(X, 2);
+  Z.addLowerBound(Y, 5);
+  Z.addUpperBound(Y, 6);
+  Zone Out = ZoneDomain::transfer(
+      Stmt::mkAssign("x", Expr::mkBinary(BinaryOp::Sub, Expr::mkVar("x"),
+                                         Expr::mkVar("y"))),
+      Z);
+  const Zone &C = Out.closedView();
+  EXPECT_EQ(C.boundsOf(std::string("x")), Interval::range(-6, -3));
+  EXPECT_EQ(C.constraintOn(Y, X), -8); // x' − y ≤ ub(x − 2y) = 2 − 10
+  EXPECT_EQ(C.constraintOn(X, Y), 12); // y − x' ≤ ub(2y − x) = 12 − 0
+}
+
+TEST(ZoneDomainTest, AffineRhsWithUnboundedResidualsStillHavocsSoundly) {
+  // y is ⊤ in one direction: only the finite residual bounds may be kept,
+  // and a fully-⊤ derivation must still drop the dimension (the old
+  // fallback's behavior).
+  Zone Z = Zone::top();
+  Z.addVar(std::string("y"));
+  Z.addLowerBound(internSymbol("y"), 0); // y ≥ 0, unbounded above
+  Zone Out = ZoneDomain::transfer(
+      Stmt::mkAssign("x",
+                     Expr::mkBinary(BinaryOp::Add,
+                                    Expr::mkUnary(UnaryOp::Neg,
+                                                  Expr::mkVar("y")),
+                                    Expr::mkInt(1))),
+      Z);
+  const Zone &C = Out.closedView();
+  SymbolId X = internSymbol("x"), Y = internSymbol("y");
+  // x = 1 − y ≤ 1 and x − y ≤ 1 − 2·lb(y) = 1; the mirrors are infinite.
+  EXPECT_EQ(C.boundsOf(std::string("x")), Interval::atMost(1));
+  EXPECT_EQ(C.constraintOn(Y, X), 1);
+  EXPECT_EQ(C.constraintOn(X, Y), Zone::kPosInf);
+  // Fully-⊤ RHS over untracked variables: dimension dropped entirely.
+  Zone T = Zone::top();
+  T.addVar(std::string("x"));
+  T.addUpperBound(internSymbol("x"), 3);
+  Zone Dropped = ZoneDomain::transfer(
+      Stmt::mkAssign("x",
+                     Expr::mkBinary(BinaryOp::Add, Expr::mkVar("p"),
+                                    Expr::mkVar("q"))),
+      T);
+  EXPECT_TRUE(Dropped.closedView().boundsOf(std::string("x")).isTop());
 }
 
 TEST(ZoneDomainTest, SelfIncrementSurvivesHostileTmpName) {
