@@ -639,7 +639,9 @@ int main(int argc, char **argv) {
           "\"staged_zone_transfers\": %llu, \"staged_sum_queries\": %llu, "
           "\"staged_sum_query_ms\": %.3f, \"staged_sum_mismatches\": %llu, "
           "\"staged_sum_tighter\": %llu, \"staged_escalated_locations\": "
-          "%llu}%s\n",
+          "%llu, \"staged_budget_exhaustions\": %llu, "
+          "\"staged_degraded_cells\": %llu, "
+          "\"staged_cancellations_honored\": %llu}%s\n",
           S.Vars, S.WallMs, S.AnalysisMs,
           static_cast<unsigned long long>(S.Staged.Escalations),
           static_cast<unsigned long long>(S.Staged.OctSeeds),
@@ -648,7 +650,11 @@ int main(int argc, char **argv) {
           static_cast<unsigned long long>(S.SumQueries), S.SumQueryMs,
           static_cast<unsigned long long>(S.SumMismatches),
           static_cast<unsigned long long>(S.SumTighter),
-          static_cast<unsigned long long>(S.EscalatedLocs), Sep);
+          static_cast<unsigned long long>(S.EscalatedLocs),
+          static_cast<unsigned long long>(S.Staged.BudgetExhaustions),
+          static_cast<unsigned long long>(S.Staged.DegradedCells),
+          static_cast<unsigned long long>(S.Staged.CancellationsHonored),
+          Sep);
       continue;
     }
     if (std::strcmp(S.Domain, "zone") == 0) {
@@ -662,6 +668,9 @@ int main(int argc, char **argv) {
           "\"zone_cached_closes\": %llu, \"zone_edges_stored\": %llu, "
           "\"zone_potential_repairs\": %llu, "
           "\"zone_closure_vertices_visited\": %llu, "
+          "\"zone_budget_exhaustions\": %llu, "
+          "\"zone_degraded_cells\": %llu, "
+          "\"zone_cancellations_honored\": %llu, "
           "\"names_interned\": %llu, \"intern_hits\": %llu, "
           "\"name_table_bytes\": %llu}%s\n",
           S.Vars, S.WallMs, S.AnalysisMs,
@@ -672,6 +681,9 @@ int main(int argc, char **argv) {
           static_cast<unsigned long long>(S.Zone.EdgesStored),
           static_cast<unsigned long long>(S.Zone.PotentialRepairs),
           static_cast<unsigned long long>(S.Zone.ClosureVerticesVisited),
+          static_cast<unsigned long long>(S.Zone.BudgetExhaustions),
+          static_cast<unsigned long long>(S.Zone.DegradedCells),
+          static_cast<unsigned long long>(S.Zone.CancellationsHonored),
           static_cast<unsigned long long>(S.Names.NamesInterned),
           static_cast<unsigned long long>(S.Names.InternHits),
           static_cast<unsigned long long>(S.Names.NameTableBytes), Sep);

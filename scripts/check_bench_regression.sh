@@ -24,10 +24,20 @@
 # the fixed shape bench_fig10_octagon_workload emits (one sizes-entry per
 # line, octagon entries carrying "dbm_cells_touched", zone entries
 # "zone_closure_vertices_visited", and staged entries
-# "staged_escalated_transfers"). A baseline predating a domain simply
-# skips that domain's gate.
+# "staged_escalated_transfers").
+#
+# Degraded-input policy (every branch prints a NAMED verdict — the gate
+# never silently passes and never dies on a bare shell error):
+#   - BASELINE absent/unreadable  → "SKIP [gate]" + exit 0 (fresh checkout
+#     or intentionally dropped baseline: nothing to compare against).
+#   - FRESH absent/unreadable     → "FAIL [gate]" + exit 2 (the bench that
+#     was supposed to produce it did not run).
+#   - a domain absent from the baseline → "SKIP [domain]" (pre-domain
+#     baseline), absent from FRESH while the baseline has it → FAIL.
+#   - non-numeric vars/counter/wall fields → "FAIL [domain]: malformed".
+# Negative-tested by scripts/check_bench_regression_selftest.sh.
 
-set -eu
+set -u
 
 if [ "$#" -lt 2 ]; then
   echo "usage: $0 BASELINE.json FRESH.json [THRESHOLD_PCT]" >&2
@@ -38,24 +48,47 @@ BASELINE=$1
 FRESH=$2
 THRESHOLD=${3:-5}
 
-for F in "$BASELINE" "$FRESH"; do
-  if [ ! -r "$F" ]; then
-    echo "check_bench_regression: cannot read $F" >&2
-    exit 2
-  fi
-done
+if [ ! -r "$BASELINE" ]; then
+  echo "SKIP [gate]: baseline $BASELINE is missing or unreadable — no regression gate run (regenerate and commit a baseline to re-arm it)"
+  exit 0
+fi
+if [ ! -r "$FRESH" ]; then
+  echo "FAIL [gate]: fresh results $FRESH are missing or unreadable — the bench run that should have produced them failed" >&2
+  exit 2
+fi
+
+# Non-negative integer or decimal, nothing else (rejects empty strings,
+# signs, exponents, and the residue awk extraction leaves on garbage).
+is_num() {
+  case "$1" in
+    '' | *[!0-9.]* | . | *.*.*) return 1 ;;
+  esac
+  return 0
+}
 
 # Prints "<vars> <counter> <wall_ms>" for the largest-vars sizes-entry
-# carrying the given counter field, or nothing when no entry has it.
+# carrying the given counter field (exit 3 when no entry has it). Fields
+# that are not cleanly numeric are emitted as the sentinel "?" so the
+# caller can name the malformation instead of tripping over word-splitting.
 largest_size() {
   awk -v field="\"$2\":" '
+    function grab(line, key,    s) {
+      s = line
+      if (!sub(".*" key "[ \t]*", "", s)) return "?"
+      sub(/[,}].*/, "", s)
+      gsub(/[ \t]/, "", s)
+      if (s !~ /^[0-9]+(\.[0-9]+)?$/) return "?"
+      return s
+    }
     /"vars":/ && index($0, field) {
-      v = $0; sub(/.*"vars":[ \t]*/, "", v); sub(/[^0-9].*/, "", v)
-      c = $0; sub(".*" field "[ \t]*", "", c); sub(/[^0-9].*/, "", c)
-      w = $0; sub(/.*"wall_ms":[ \t]*/, "", w); sub(/[^0-9.].*/, "", w)
-      if (v + 0 >= maxv + 0) { maxv = v; cells = c; wall = w }
+      v = grab($0, "\"vars\":")
+      c = grab($0, field)
+      w = grab($0, "\"wall_ms\":")
+      if (v == "?" || v + 0 >= maxv + 0) { maxv = v; cells = c; wall = w }
+      if (v == "?") { bad = 1; exit }
     }
     END {
+      if (bad) { print "? ? ?"; exit 0 }
       if (maxv == "") exit 3
       print maxv, cells, wall
     }
@@ -63,12 +96,13 @@ largest_size() {
 }
 
 # gate LABEL FIELD — compares baseline vs fresh on FIELD at the largest
-# sweep size; returns 1 on regression beyond the threshold.
+# sweep size; returns 1 on regression beyond the threshold or on malformed
+# rows, 0 on pass or named skip.
 gate() {
   LABEL=$1
   FIELD=$2
   BASE_ROW=$(largest_size "$BASELINE" "$FIELD") || {
-    echo "fig10 gate [$LABEL]: baseline has no $FIELD entries; skipping"
+    echo "SKIP [$LABEL]: baseline has no $FIELD entries (pre-$LABEL baseline); gate not run for this domain"
     return 0
   }
   FRESH_ROW=$(largest_size "$FRESH" "$FIELD") || {
@@ -80,9 +114,25 @@ gate() {
   set -- $FRESH_ROW
   FRESH_VARS=$1 FRESH_CELLS=$2 FRESH_WALL=$3
 
+  for PAIR in \
+    "baseline:$BASELINE:$BASE_VARS:$BASE_CELLS:$BASE_WALL" \
+    "fresh:$FRESH:$FRESH_VARS:$FRESH_CELLS:$FRESH_WALL"; do
+    WHICH=${PAIR%%:*}
+    REST=${PAIR#*:}
+    FILE=${REST%%:*}
+    NUMS=${REST#*:}
+    V=${NUMS%%:*}; NUMS=${NUMS#*:}
+    C=${NUMS%%:*}
+    W=${NUMS#*:}
+    if ! is_num "$V" || ! is_num "$C" || ! is_num "$W"; then
+      echo "FAIL [$LABEL]: malformed $FIELD row in $WHICH $FILE (vars='$V' counter='$C' wall_ms='$W' — expected plain non-negative numbers)" >&2
+      return 1
+    fi
+  done
+
   if [ "$BASE_VARS" != "$FRESH_VARS" ]; then
-    echo "check_bench_regression [$LABEL]: sweep-size mismatch (baseline vars=$BASE_VARS, fresh vars=$FRESH_VARS)" >&2
-    return 2
+    echo "FAIL [$LABEL]: sweep-size mismatch (baseline vars=$BASE_VARS, fresh vars=$FRESH_VARS)" >&2
+    return 1
   fi
 
   awk -v base="$BASE_CELLS" -v fresh="$FRESH_CELLS" -v pct="$THRESHOLD" \
@@ -104,6 +154,22 @@ gate() {
   '
 }
 
+# Sums a per-line numeric field across FRESH; non-numeric occurrences count
+# as a parse error (prints "NaN").
+sum_fresh_field() {
+  awk -v field="\"$1\":" '
+    index($0, field) {
+      m = $0
+      sub(".*" field "[ \t]*", "", m)
+      sub(/[,}].*/, "", m)
+      gsub(/[ \t]/, "", m)
+      if (m !~ /^[0-9]+$/) { bad = 1; exit }
+      total += m + 0
+    }
+    END { print bad ? "NaN" : total + 0 }
+  ' "$FRESH"
+}
+
 STATUS=0
 gate octagon dbm_cells_touched || STATUS=1
 gate zone zone_closure_vertices_visited || STATUS=1
@@ -113,14 +179,33 @@ gate staged staged_escalated_transfers || STATUS=1
 # lockstep-compares every escalated sum-constraint answer against a pure
 # octagon run, so a non-zero mismatch count in the FRESH json is an
 # exactness bug regardless of the baseline.
-MISMATCHES=$(awk '/"staged_sum_mismatches":/ {
-  m = $0; sub(/.*"staged_sum_mismatches":[ \t]*/, "", m); sub(/[^0-9].*/, "", m)
-  total += m + 0
-} END { print total + 0 }' "$FRESH")
-if [ "$MISMATCHES" -gt 0 ]; then
+MISMATCHES=$(sum_fresh_field staged_sum_mismatches)
+if ! is_num "$MISMATCHES"; then
+  echo "FAIL [staged]: malformed staged_sum_mismatches field in $FRESH" >&2
+  STATUS=1
+elif [ "$MISMATCHES" -gt 0 ]; then
   echo "FAIL [staged]: $MISMATCHES sum-constraint answers diverged from the pure-octagon run" >&2
   STATUS=1
 else
   echo "fig10 gate [staged]: 0 sum-constraint mismatches vs the pure-octagon run"
 fi
+
+# Budget hygiene: the default bench runs UN-budgeted, so any budget
+# exhaustion / degraded cell / honored cancellation in the fresh JSON means
+# the resource-governance layer degraded an unbudgeted analysis — a
+# correctness bug, gated regardless of the baseline.
+for BFIELD in zone_budget_exhaustions zone_degraded_cells \
+              zone_cancellations_honored staged_budget_exhaustions \
+              staged_degraded_cells staged_cancellations_honored; do
+  TOTAL=$(sum_fresh_field "$BFIELD")
+  if ! is_num "$TOTAL"; then
+    echo "FAIL [budget]: malformed $BFIELD field in $FRESH" >&2
+    STATUS=1
+  elif [ "$TOTAL" -gt 0 ]; then
+    echo "FAIL [budget]: $BFIELD is $TOTAL on the un-budgeted default workload (expected 0)" >&2
+    STATUS=1
+  fi
+done
+echo "fig10 gate [budget]: un-budgeted run shows zero budget exhaustions / degraded cells / honored cancellations"
+
 exit $STATUS

@@ -1,0 +1,111 @@
+#!/bin/sh
+# check_bench_regression_selftest.sh — negative tests for the fig10 gate.
+#
+# Feeds scripts/check_bench_regression.sh deliberately missing, truncated,
+# and malformed inputs and asserts that every degraded branch produces its
+# NAMED verdict and exit code — never a silent pass and never an unhandled
+# shell/awk error. Registered in ctest as bench_gate_selftest.
+#
+# usage: check_bench_regression_selftest.sh [REPO_ROOT]
+
+set -u
+
+ROOT=${1:-$(dirname "$0")/..}
+GATE="$ROOT/scripts/check_bench_regression.sh"
+TMP=$(mktemp -d) || exit 2
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+FAILURES=0
+
+# run_case NAME EXPECTED_EXIT EXPECTED_PATTERN BASELINE FRESH
+# Runs the gate and checks both the exit code and that the named verdict
+# appears on stdout+stderr.
+run_case() {
+  NAME=$1 WANT_EXIT=$2 WANT_PAT=$3 B=$4 F=$5
+  OUT=$(sh "$GATE" "$B" "$F" 2>&1)
+  GOT_EXIT=$?
+  if [ "$GOT_EXIT" -ne "$WANT_EXIT" ]; then
+    echo "selftest FAIL [$NAME]: exit $GOT_EXIT, expected $WANT_EXIT" >&2
+    echo "$OUT" | sed 's/^/    | /' >&2
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! printf '%s\n' "$OUT" | grep -q "$WANT_PAT"; then
+    echo "selftest FAIL [$NAME]: output lacks expected pattern: $WANT_PAT" >&2
+    echo "$OUT" | sed 's/^/    | /' >&2
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "selftest ok [$NAME]"
+}
+
+# A minimal well-formed result set (the one-row-per-line shape the bench
+# emits; only the fields the gate reads).
+good_json() {
+  cat <<'EOF'
+{"domain": "octagon", "vars": 8, "wall_ms": 10.5, "dbm_cells_touched": 1000}
+{"domain": "octagon", "vars": 16, "wall_ms": 22.5, "dbm_cells_touched": 2000}
+{"domain": "zone", "vars": 16, "wall_ms": 4.5, "zone_closure_vertices_visited": 300}
+{"domain": "staged", "vars": 16, "wall_ms": 6.0, "staged_escalated_transfers": 120, "staged_sum_mismatches": 0, "staged_budget_exhaustions": 0, "staged_degraded_cells": 0, "staged_cancellations_honored": 0}
+EOF
+}
+
+good_json > "$TMP/base.json"
+good_json > "$TMP/fresh.json"
+
+# 1. Clean pass on identical baseline and fresh.
+run_case identical-pass 0 '^OK$' "$TMP/base.json" "$TMP/fresh.json"
+
+# 2. Missing baseline: named SKIP, exit 0 — not a shell error.
+run_case missing-baseline 0 'SKIP \[gate\]: baseline' \
+  "$TMP/no_such_baseline.json" "$TMP/fresh.json"
+
+# 3. Missing fresh file: named FAIL, exit 2.
+run_case missing-fresh 2 'FAIL \[gate\]: fresh results' \
+  "$TMP/base.json" "$TMP/no_such_fresh.json"
+
+# 4. Baseline predating a domain: named per-domain SKIP, still exit 0.
+grep -v '"domain": "staged"' "$TMP/base.json" > "$TMP/base_nostaged.json"
+run_case pre-domain-baseline 0 'SKIP \[staged\]: baseline has no' \
+  "$TMP/base_nostaged.json" "$TMP/fresh.json"
+
+# 5. Fresh run dropping a domain the baseline gates: named FAIL.
+grep -v '"domain": "zone"' "$TMP/fresh.json" > "$TMP/fresh_nozone.json"
+run_case fresh-drops-domain 1 'FAIL \[zone\]: baseline carries' \
+  "$TMP/base.json" "$TMP/fresh_nozone.json"
+
+# 6. Non-numeric counter field: named malformed FAIL, not an awk error.
+sed 's/"dbm_cells_touched": 2000/"dbm_cells_touched": "lots"/' \
+  "$TMP/fresh.json" > "$TMP/fresh_garbage.json"
+run_case malformed-counter 1 'FAIL \[octagon\]: malformed' \
+  "$TMP/base.json" "$TMP/fresh_garbage.json"
+
+# 7. Regression beyond the 5% threshold: named FAIL.
+sed 's/"dbm_cells_touched": 2000/"dbm_cells_touched": 2200/' \
+  "$TMP/fresh.json" > "$TMP/fresh_regressed.json"
+run_case regression-detected 1 'FAIL \[octagon\]: dbm_cells_touched regression' \
+  "$TMP/base.json" "$TMP/fresh_regressed.json"
+
+# 8. Sum-constraint mismatches in the fresh run: named FAIL.
+sed 's/"staged_sum_mismatches": 0/"staged_sum_mismatches": 3/' \
+  "$TMP/fresh.json" > "$TMP/fresh_mismatch.json"
+run_case sum-mismatch 1 'FAIL \[staged\]: 3 sum-constraint' \
+  "$TMP/base.json" "$TMP/fresh_mismatch.json"
+
+# 9. Budget exhaustion on the un-budgeted default workload: named FAIL.
+sed 's/"staged_budget_exhaustions": 0/"staged_budget_exhaustions": 2/' \
+  "$TMP/fresh.json" > "$TMP/fresh_budget.json"
+run_case budget-nonzero 1 'FAIL \[budget\]: staged_budget_exhaustions is 2' \
+  "$TMP/base.json" "$TMP/fresh_budget.json"
+
+# 10. Degraded cells reported on the default workload: named FAIL.
+sed 's/"staged_degraded_cells": 0/"staged_degraded_cells": 7/' \
+  "$TMP/fresh.json" > "$TMP/fresh_degraded.json"
+run_case degraded-nonzero 1 'FAIL \[budget\]: staged_degraded_cells is 7' \
+  "$TMP/base.json" "$TMP/fresh_degraded.json"
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "check_bench_regression_selftest: $FAILURES case(s) failed" >&2
+  exit 1
+fi
+echo "check_bench_regression_selftest: all cases passed"

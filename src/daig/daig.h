@@ -41,14 +41,18 @@
 #include "daig/memo_table.h"
 #include "daig/name.h"
 #include "domain/abstract_domain.h"
+#include "support/budget.h"
+#include "support/fault_injection.h"
 #include "support/statistics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <variant>
 
 namespace dai {
@@ -124,7 +128,15 @@ public:
       if (H == L)
         break;
       Name FixDest = fixCellName(H, Ctx);
-      queryState(FixDest);
+      Elem FV = queryState(FixDest);
+      if (!Degraded.empty() && Degraded.count(FixDest)) {
+        // The enclosing fixpoint was ⊤-degraded by a budget: its iterate
+        // cells are intermediate (pre-convergence) states, NOT sound final
+        // answers for body locations. The degraded fix value (⊤) is the
+        // only sound answer for anything inside the loop.
+        budgetState().TaintPending = true;
+        return FV;
+      }
       Ctx[H] = Loops.at(FixDest).K - 1;
     }
     if (Info->isLoopHead(L))
@@ -138,7 +150,12 @@ public:
       (void)queryLocation(L);
   }
 
-  /// Low-level query by cell name (Fig. 8 semantics).
+  /// Low-level query by cell name (Fig. 8 semantics), plus the resource
+  /// governance of support/budget.h: the demand-miss path is the analysis's
+  /// unit of work, so it checkpoints the budget (which may throw
+  /// AnalysisCancelled — before any mutation, so unwinding is clean),
+  /// resolves to ⊤ under hard exhaustion, and tracks degraded provenance
+  /// through a per-evaluation taint frame.
   Elem queryState(Name N) {
     auto It = Cells.find(N);
     assert(It != Cells.end() && "query for a name outside the DAIG");
@@ -146,16 +163,28 @@ public:
     if (It->second.hasValue()) {
       if (Stats)
         ++Stats->CellReuses; // Q-Reuse
+      if (!Degraded.empty() && Degraded.count(N))
+        budgetState().TaintPending = true; // consumer inherits the flag
       return std::get<Elem>(*It->second.V);
     }
+    budgetCheckpoint("DAIG cell evaluation");
+    DAI_FAULT_POINT(CellEval);
+    if (budgetExhausted())
+      return degradeToTop(N);
     auto CompIt = CompOf.find(N);
     assert(CompIt != CompOf.end() &&
            "empty cell without a computation (wf condition 5)");
-    if (CompIt->second.F == FnKind::Fix)
-      return queryFix(N);
-    Comp C = CompIt->second; // copy: recursive queries may rehash maps
-    Elem Result = evaluateComp(C);
-    storeValue(N, Result);
+    BudgetTaintScope Taint;
+    Elem Result;
+    if (CompIt->second.F == FnKind::Fix) {
+      Result = queryFix(N); // stores internally
+    } else {
+      Comp C = CompIt->second; // copy: recursive queries may rehash maps
+      Result = evaluateComp(C);
+      storeValue(N, Result);
+    }
+    if (Taint.consumed())
+      markDegraded(N);
     return Result;
   }
 
@@ -467,7 +496,16 @@ public:
     auto It = Cells.find(N);
     assert(It != Cells.end() && "entry cell must exist");
     It->second.V = std::variant<Stmt, Elem>(EntryValue);
+    Degraded.erase(N); // a fresh entry value clears entry provenance
     dirtyDependentsOf(N);
+  }
+
+  /// Marks the entry cell degraded (interprocedural engine: the entry was
+  /// coarsened by a budget-tightened widening, so everything computed from
+  /// it carries degraded provenance via the taint frames).
+  void markEntryDegraded() {
+    CountCtx Ctx;
+    markDegraded(stateCellName(G->entry(), Ctx));
   }
 
   /// Current entry abstract state.
@@ -508,6 +546,128 @@ public:
     return It != Cells.end() && It->second.hasValue();
   }
 
+  //===--------------------------------------------------------------------===//
+  // Degraded provenance (support/budget.h)
+  //===--------------------------------------------------------------------===//
+
+  /// True when cell \p N holds a budget-degraded value (⊤-substituted, or
+  /// computed from a degraded input).
+  bool cellDegraded(Name N) const {
+    return !Degraded.empty() && Degraded.count(N) != 0;
+  }
+
+  /// True when the answer queryLocation(\p L) returns carries degraded
+  /// provenance. Meaningful once \p L has been demanded: the flags are
+  /// recorded during evaluation.
+  bool locationDegraded(Loc L) const {
+    if (Degraded.empty())
+      return false;
+    if (L >= Info->Reachable.size() || !Info->Reachable[L])
+      return false;
+    CountCtx Ctx;
+    for (Loc H : Info->LoopNestOf[L]) {
+      if (H == L)
+        break;
+      Name FixDest = fixCellName(H, Ctx);
+      if (Degraded.count(FixDest))
+        return true; // queryLocation answers with the degraded fix value
+      auto LIt = Loops.find(FixDest);
+      Ctx[H] = LIt == Loops.end() ? 0u : LIt->second.K - 1;
+    }
+    Name N = Info->isLoopHead(L) ? fixCellName(L, Ctx)
+                                 : stateCellName(L, Ctx);
+    return Degraded.count(N) != 0;
+  }
+
+  size_t degradedCellCount() const { return Degraded.size(); }
+
+  /// Empties every degraded cell (and its transitive dependents), clearing
+  /// all provenance marks — re-demanding afterwards, outside the exhausted
+  /// budget, restores full precision. Returns the number of cells that
+  /// carried marks.
+  size_t invalidateDegraded() {
+    if (Degraded.empty())
+      return 0;
+    size_t Count = Degraded.size();
+    CountCtx Ctx;
+    Name Entry = stateCellName(G->entry(), Ctx);
+    std::vector<Name> Work;
+    for (const Name &N : Degraded) {
+      if (N == Entry) {
+        // The entry cell always holds φ0 and has no computation; dirty its
+        // consumers instead (the engine re-refreshes coarsened entries).
+        auto DIt = Dependents.find(N);
+        if (DIt != Dependents.end())
+          Work.insert(Work.end(), DIt->second.begin(), DIt->second.end());
+        continue;
+      }
+      Work.push_back(N);
+    }
+    std::set<Name> Visited;
+    propagateDirty(Work, Visited); // also erases each emptied cell's mark
+    Degraded.clear();              // incl. the (unemptied) entry mark
+    return Count;
+  }
+
+  /// Structural self-audit beyond Definition 4.1: checkWellFormed plus
+  /// Dependents↔CompOf index consistency, loop-instance metadata sanity,
+  /// and degraded-set honesty. Cheap (no domain operations) — safe to run
+  /// on a mid-cancelled DAIG. Returns "" when clean.
+  std::string auditInvariants() const {
+    std::string W = checkWellFormed();
+    if (!W.empty())
+      return W;
+    // Dependents must be exactly the inverse of CompOf's source lists.
+    for (const auto &[Dest, C] : CompOf)
+      for (const Name &S : C.Srcs) {
+        auto DIt = Dependents.find(S);
+        if (DIt == Dependents.end() || !DIt->second.count(Dest))
+          return "missing dependent edge " + S.toString() + " → " +
+                 Dest.toString();
+      }
+    for (const auto &[S, Deps] : Dependents) {
+      if (Deps.empty())
+        return "empty dependent set retained for " + S.toString();
+      for (const Name &Dest : Deps) {
+        auto CIt = CompOf.find(Dest);
+        if (CIt == CompOf.end())
+          return "dangling dependent " + Dest.toString() + " of " +
+                 S.toString();
+        if (std::find(CIt->second.Srcs.begin(), CIt->second.Srcs.end(), S) ==
+            CIt->second.Srcs.end())
+          return "dependent " + Dest.toString() +
+                 " does not list source " + S.toString();
+      }
+    }
+    // Loop metadata: every instance's fix edge exists with two iterate
+    // sources of its head at counts (K−1, K).
+    for (const auto &[FixDest, Inst] : Loops) {
+      auto CIt = CompOf.find(FixDest);
+      if (CIt == CompOf.end() || CIt->second.F != FnKind::Fix)
+        return "loop instance without a fix edge: " + FixDest.toString();
+      if (CIt->second.Srcs.size() != 2)
+        return "fix edge arity violated: " + FixDest.toString();
+      Loc L;
+      std::vector<uint32_t> Counts;
+      for (unsigned I = 0; I < 2; ++I) {
+        if (!decodeState(CIt->second.Srcs[I], L, Counts) || L != Inst.Head ||
+            Counts.empty() || Counts.back() != Inst.K - 1 + I)
+          return "fix sources disagree with instance metadata: " +
+                 FixDest.toString();
+      }
+    }
+    // Degraded honesty: every mark names a live, filled state cell (marks
+    // are erased whenever a cell is emptied or removed).
+    for (const Name &N : Degraded) {
+      auto It = Cells.find(N);
+      if (It == Cells.end())
+        return "degraded mark on a missing cell: " + N.toString();
+      if (It->second.T != CellType::StateTy || !It->second.hasValue())
+        return "degraded mark on an empty/statement cell: " + N.toString();
+    }
+    return "";
+  }
+
   /// Name of the statement cell for edge \p Id (depends on join indexing).
   Name stmtCellName(EdgeId Id) const {
     const CfgEdge *E = G->findEdge(Id);
@@ -545,6 +705,11 @@ private:
   std::unordered_map<Name, Comp, NameHash> CompOf; ///< Keyed by destination.
   /// Source name → set of computation destinations depending on it.
   std::unordered_map<Name, std::set<Name>, NameHash> Dependents;
+  /// Cells holding budget-degraded values (support/budget.h): ⊤-substituted
+  /// on hard exhaustion, or computed from a degraded input (taint). Marks
+  /// are erased whenever the cell is emptied or removed — a mark always
+  /// describes the value currently stored.
+  std::unordered_set<Name, NameHash> Degraded;
 
   /// Iteration-count context: loop head → current iteration index.
   using CountCtx = std::map<Loc, uint32_t>;
@@ -570,6 +735,7 @@ private:
     std::swap(CompOf, O.CompOf);
     std::swap(Dependents, O.Dependents);
     std::swap(Loops, O.Loops);
+    std::swap(Degraded, O.Degraded);
   }
 
   //===--------------------------------------------------------------------===//
@@ -678,6 +844,8 @@ private:
     removeComp(N);
     Cells.erase(N);
     Loops.erase(N);
+    if (!Degraded.empty())
+      Degraded.erase(N);
   }
 
   //===--------------------------------------------------------------------===//
@@ -816,6 +984,26 @@ private:
     It->second.V = std::variant<Stmt, Elem>(V);
   }
 
+  void markDegraded(Name N) {
+    if (Degraded.insert(N).second) {
+      recordDegradedCell();
+      if (Stats)
+        ++Stats->CellsDegraded;
+    }
+  }
+
+  /// Hard budget exhaustion: resolve cell \p N to ⊤ — D::initialEntry({})
+  /// over-approximates every reachable state of every variable, so the
+  /// substitution is sound — mark it degraded, and taint the consuming
+  /// evaluation. No memo store: the value was never computed.
+  Elem degradeToTop(Name N) {
+    Elem Top = D::initialEntry({});
+    storeValue(N, Top);
+    markDegraded(N);
+    budgetState().TaintPending = true;
+    return Top;
+  }
+
   const Stmt &stmtOf(Name N) const {
     auto It = Cells.find(N);
     assert(It != Cells.end() && It->second.T == CellType::StmtTy &&
@@ -823,9 +1011,18 @@ private:
     return std::get<Stmt>(*It->second.V);
   }
 
-  /// Q-Loop-Converge / Q-Loop-Unroll.
+  /// Q-Loop-Converge / Q-Loop-Unroll, bounded: every iteration checkpoints
+  /// the budget, a hard-exhausted budget degrades the fixpoint to ⊤, and
+  /// an un-budgeted loop that outruns the iteration ceiling (a widening
+  /// that does not stabilize) throws AnalysisDivergence instead of hanging.
   Elem queryFix(Name N) {
+    const AnalysisLimits &Limits = analysisLimits();
+    uint64_t Iter = 0;
     for (;;) {
+      budgetCheckpoint("DAIG fix iteration");
+      DAI_FAULT_POINT(Fix);
+      if (budgetExhausted())
+        return degradeToTop(N);
       Comp C = CompOf.at(N); // copy: unroll rewrites it
       Elem V1 = queryState(C.Srcs[0]);
       Elem V2 = queryState(C.Srcs[1]);
@@ -834,6 +1031,15 @@ private:
       if (D::equal(V1, V2)) {
         storeValue(N, V1);
         return V1;
+      }
+      uint64_t Ceiling = budgetDegraded()
+                             ? std::min(Limits.MaxFixUnrollings,
+                                        Limits.DegradedFixUnrollings)
+                             : Limits.MaxFixUnrollings;
+      if (++Iter >= Ceiling) {
+        if (budgetActive())
+          return degradeToTop(N); // budgeted: degrade, don't diagnose
+        throw AnalysisDivergence("fix cell " + N.toString(), Iter);
       }
       if (Stats)
         ++Stats->Unrollings;
@@ -952,6 +1158,8 @@ private:
       It = Cells.find(N); // rollback may rehash
       if (It != Cells.end() && It->second.hasValue()) {
         It->second.V.reset();
+        if (!Degraded.empty())
+          Degraded.erase(N); // an emptied cell carries no provenance
         if (Stats)
           ++Stats->CellsDirtied;
         if (OnCellEmptied)
@@ -1051,6 +1259,8 @@ private:
     auto It = Cells.find(It1);
     if (It != Cells.end() && It->second.hasValue()) {
       It->second.V.reset();
+      if (!Degraded.empty())
+        Degraded.erase(It1);
       if (Stats)
         ++Stats->CellsDirtied;
       if (OnCellEmptied)
@@ -1302,6 +1512,9 @@ std::string Daig<D>::checkAiConsistency() {
   for (const auto &[N, C] : Cells) {
     if (C.T != CellType::StateTy || !C.hasValue())
       continue;
+    if (!Degraded.empty() && Degraded.count(N))
+      continue; // ⊤-substituted/tainted by a budget: deliberately not the
+                // value its computation produces (sound by construction)
     auto CIt = CompOf.find(N);
     if (CIt == CompOf.end())
       continue; // φ0 cell

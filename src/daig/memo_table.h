@@ -35,6 +35,7 @@
 
 #include "daig/name.h"
 #include "domain/abstract_domain.h"
+#include "support/fault_injection.h"
 #include "support/statistics.h"
 
 #include <list>
@@ -68,6 +69,7 @@ public:
   /// Returns the memoized result for \p Key, if present, marking the entry
   /// most-recently-used.
   std::optional<Elem> lookup(Name Key) {
+    DAI_FAULT_POINT(Memo); // at entry: an aborted lookup mutates nothing
     auto It = Table.find(Key.id());
     if (It == Table.end()) {
       if (Stats)
@@ -83,6 +85,9 @@ public:
   /// Records \p Key ↦ \p Value, evicting least-recently-used entries beyond
   /// the cap.
   void store(Name Key, Elem Value) {
+    DAI_FAULT_POINT(Memo); // at entry: an aborted store leaves the LRU and
+                           // table untouched (entries are pure, keyed by
+                           // value hashes, so skipping a store is sound)
     // Find-then-assign: emplace may consume the moved argument even when
     // insertion fails, which would overwrite with a moved-from value.
     auto It = Table.find(Key.id());

@@ -8,6 +8,7 @@
 
 #include "cfg/program.h"
 #include "domain/linear.h"
+#include "support/fault_injection.h"
 #include "support/hashing.h"
 #include "support/statistics.h"
 
@@ -404,6 +405,7 @@ bool Octagon::strengthenAndCheckEmpty(uint64_t &CellsTouched) {
 }
 
 void Octagon::close() {
+  DAI_FAULT_POINT(Closure); // at entry: matrix and Closed flag untouched
   if (Bottom)
     return;
   if (Closed) {
@@ -434,6 +436,7 @@ void Octagon::close() {
 }
 
 void Octagon::closeIncremental(size_t XIdx, size_t YIdx) {
+  DAI_FAULT_POINT(Closure); // at entry: matrix and Closed flag untouched
   if (Bottom)
     return;
   if (Closed) {
@@ -468,6 +471,7 @@ void Octagon::closeIncremental(size_t XIdx, size_t YIdx) {
 }
 
 void Octagon::closeIncrementalMulti(const std::vector<size_t> &Idxs) {
+  DAI_FAULT_POINT(Closure); // at entry: matrix and Closed flag untouched
   if (Bottom)
     return;
   if (Closed) {

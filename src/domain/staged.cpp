@@ -7,6 +7,7 @@
 #include "domain/staged.h"
 
 #include "domain/linear.h"
+#include "support/budget.h"
 #include "support/hashing.h"
 
 #include <sstream>
@@ -20,6 +21,22 @@ constexpr size_t npos = static_cast<size_t>(-1);
 bool &escalationFlag() {
   static thread_local bool On = false;
   return On;
+}
+
+/// Budget degradation gate for NEW escalations: while the active budget is
+/// soft- or hard-degraded, zone-only values stay zone-only even when
+/// escalation mode or an octagonal guard asks for the octagon tier — the
+/// staged domain drops to its cheap tier. Values that ALREADY carry an
+/// octagon tier keep it (dropping committed precision saves nothing and
+/// would break the dual-tier lockstep of escalated slices). A suppressed
+/// escalation raises the budget taint so the evaluating DAIG cell is
+/// recorded with degraded provenance — queries over it report as degraded
+/// rather than silently answering with zone precision.
+bool suppressEscalation(bool WantDual, bool HaveTier) {
+  if (!WantDual || HaveTier || !budgetDegraded())
+    return false;
+  budgetState().TaintPending = true;
+  return true;
 }
 
 /// The octagon tier of \p V, materializing a seed from the zone when the
@@ -261,7 +278,8 @@ bool StagedDomain::isBottom(const Elem &A) {
 Staged StagedDomain::initialEntry(const std::vector<std::string> &Params) {
   Staged V;
   V.Z = ZoneDomain::initialEntry(Params);
-  if (escalationEnabled())
+  if (escalationEnabled() &&
+      !suppressEscalation(/*WantDual=*/true, /*HaveTier=*/false))
     V.Oct =
         std::make_shared<Octagon>(OctagonDomain::initialEntry(Params));
   return V;
@@ -272,6 +290,8 @@ Staged StagedDomain::transfer(const Stmt &S, const Elem &In) {
     return bottom();
   bool Dual = In.escalated() || escalationEnabled() ||
               (S.Kind == StmtKind::Assume && guardNeedsOctagon(S.Rhs));
+  if (suppressEscalation(Dual, In.escalated()))
+    Dual = false;
   return applyTiered(
       In, Dual, [&](const Zone &Z) { return ZoneDomain::transfer(S, Z); },
       [&](const Octagon &O) { return OctagonDomain::transfer(S, O); });
@@ -282,6 +302,8 @@ Staged StagedDomain::assume(const Elem &In, const ExprPtr &Cond) {
     return bottom();
   bool Dual =
       In.escalated() || escalationEnabled() || guardNeedsOctagon(Cond);
+  if (suppressEscalation(Dual, In.escalated()))
+    Dual = false;
   return applyTiered(
       In, Dual, [&](const Zone &Z) { return ZoneDomain::assume(Z, Cond); },
       [&](const Octagon &O) { return OctagonDomain::assume(O, Cond); });
@@ -295,6 +317,8 @@ Staged StagedDomain::join(const Elem &A, const Elem &B) {
   Staged Out;
   Out.Z = ZoneDomain::join(A.Z, B.Z);
   bool Dual = A.escalated() || B.escalated() || escalationEnabled();
+  if (suppressEscalation(Dual, A.escalated() || B.escalated()))
+    Dual = false;
   if (!Dual)
     return Out;
   Octagon SA, SB;
@@ -315,6 +339,8 @@ Staged StagedDomain::widen(const Elem &Prev, const Elem &Next) {
   Staged Out;
   Out.Z = ZoneDomain::widen(Prev.Z, Next.Z);
   bool Dual = Prev.escalated() || Next.escalated() || escalationEnabled();
+  if (suppressEscalation(Dual, Prev.escalated() || Next.escalated()))
+    Dual = false;
   if (!Dual) {
     Out.Seeded = false;
     return Out;
@@ -377,7 +403,10 @@ Staged StagedDomain::enterCall(const Elem &Caller, const Stmt &CallSite,
     return bottom();
   Staged Out;
   Out.Z = ZoneDomain::enterCall(Caller.Z, CallSite, CalleeParams);
-  if (!(Caller.escalated() || escalationEnabled()))
+  bool Dual = Caller.escalated() || escalationEnabled();
+  if (suppressEscalation(Dual, Caller.escalated()))
+    Dual = false;
+  if (!Dual)
     return Out;
   Octagon SC;
   bool WasSeeded = false;
@@ -397,6 +426,8 @@ Staged StagedDomain::exitCall(const Elem &Caller, const Elem &CalleeExit,
   Out.Z = ZoneDomain::exitCall(Caller.Z, CalleeExit.Z, CallSite);
   bool Dual = Caller.escalated() || CalleeExit.escalated() ||
               escalationEnabled();
+  if (suppressEscalation(Dual, Caller.escalated() || CalleeExit.escalated()))
+    Dual = false;
   if (!Dual)
     return Out;
   Octagon SC, SE;

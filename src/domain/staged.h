@@ -64,6 +64,7 @@
 #include "domain/abstract_domain.h"
 #include "domain/octagon.h"
 #include "domain/zone.h"
+#include "support/budget.h"
 #include "support/statistics.h"
 
 #include <cassert>
@@ -202,6 +203,15 @@ Staged queryEscalatedMain(EngineT &E, Loc L) {
   Staged V = E.queryMain(L);
   if (StagedDomain::isBottom(V) || (V.escalated() && !V.Seeded))
     return V;
+  // Under a degraded budget NEW escalation re-demands are suppressed: the
+  // reset-and-re-demand would recompute the whole slice dual-tier, exactly
+  // the work the budget is shedding. The zone-tier answer stays sound; the
+  // budget taint gives the caller's cell degraded provenance so the loss
+  // of octagon precision is auditable rather than silent.
+  if (budgetDegraded()) {
+    budgetState().TaintPending = true;
+    return V;
+  }
   ++stagedCounters().Escalations;
   StagedEscalationScope Scope;
   E.resetAllInstances();

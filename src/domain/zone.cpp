@@ -8,6 +8,7 @@
 
 #include "cfg/program.h"
 #include "domain/linear.h"
+#include "support/fault_injection.h"
 #include "support/hashing.h"
 #include "support/statistics.h"
 
@@ -277,6 +278,8 @@ bool Zone::repairPotential(uint32_t U, uint32_t V, int64_t W) {
 //===----------------------------------------------------------------------===//
 
 void Zone::closeOverEdge(uint32_t U, uint32_t V) {
+  DAI_FAULT_POINT(Closure); // at entry: unwind leaves the graph unclosed
+                            // (Closed already false) but sound
   GraphBuf &G = bufMut();
   int64_t W = weightOf(U, V);
   assert(W != Inf && "closeOverEdge requires the edge to exist");
@@ -326,6 +329,8 @@ void Zone::closeOverEdge(uint32_t U, uint32_t V) {
 }
 
 void Zone::closeEdgesFrom(uint32_t Vert) {
+  DAI_FAULT_POINT(Closure); // at entry: unwind leaves the graph unclosed
+                            // (Closed already false) but sound
   GraphBuf &G = bufMut();
   if (G.Out[Vert].empty())
     return;
@@ -380,6 +385,7 @@ void Zone::closeEdgesFrom(uint32_t Vert) {
 }
 
 void Zone::close() {
+  DAI_FAULT_POINT(Closure); // at entry: graph and Closed flag untouched
   if (Bottom)
     return;
   if (Closed) {

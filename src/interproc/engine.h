@@ -97,34 +97,52 @@ public:
   /// passes repeat until no summary is invalidated. Entry growth is widened,
   /// so the pass count is finite even in infinite-height domains.
   Elem queryMain(Loc L) {
+    budgetState().TaintPending = false; // top-level query: fresh frame
     Instance &Root = instanceFor(rootKey(), /*Seed=*/true);
+    uint64_t Passes = 0;
     for (;;) {
       Elem V = Root.G->queryLocation(L);
       if (!drainDirtyExits())
         return V;
+      budgetCheckpoint("interprocedural quiescence pass");
+      if (++Passes >= analysisLimits().MaxQuiescencePasses)
+        throw AnalysisDivergence("interprocedural quiescence (queryMain)",
+                                 Passes);
     }
   }
 
   /// Demands the exit summary of instance \p Key (⊥ if never called).
   Elem querySummary(const InstanceKey &Key) {
+    budgetState().TaintPending = false; // top-level query: fresh frame
     Instance &I = instanceFor(Key, Key == rootKey());
+    uint64_t Passes = 0;
     for (;;) {
       Elem V = I.G->queryLocation(cfgOf(Key.Fn)->exit());
       if (!drainDirtyExits())
         return V;
+      budgetCheckpoint("interprocedural quiescence pass");
+      if (++Passes >= analysisLimits().MaxQuiescencePasses)
+        throw AnalysisDivergence("interprocedural quiescence (querySummary)",
+                                 Passes);
     }
   }
 
   /// Demands every location of every instance reachable from main. Returns
   /// the number of instances analyzed.
   size_t analyzeAllFromMain() {
+    budgetState().TaintPending = false; // top-level query: fresh frame
     Instance &Root = instanceFor(rootKey(), /*Seed=*/true);
     Root.G->queryAllLocations();
     // Demanding main may create callee instances, whose full analysis may
     // create more; iterate to a fixed point over the instance set.
     size_t Analyzed = 1;
+    uint64_t Passes = 0;
     bool Progress = true;
     while (Progress) {
+      budgetCheckpoint("interprocedural analyze-all pass");
+      if (++Passes >= analysisLimits().MaxQuiescencePasses)
+        throw AnalysisDivergence(
+            "interprocedural quiescence (analyzeAllFromMain)", Passes);
       Progress = false;
       std::vector<InstanceKey> Keys;
       Keys.reserve(Instances.size());
@@ -240,6 +258,84 @@ public:
 
   InstanceKey rootKey() const { return InstanceKey{MainId, Context{}}; }
 
+  //===--------------------------------------------------------------------===//
+  // Degraded provenance and self-audit (support/budget.h)
+  //===--------------------------------------------------------------------===//
+
+  /// True when the answer queryMain(\p L) returns carries budget-degraded
+  /// provenance. Degradation inside callees surfaces here too: the taint
+  /// frames are thread-local, so a caller cell consuming a degraded callee
+  /// summary is itself marked in the root DAIG.
+  bool mainLocationDegraded(Loc L) const {
+    auto It = Instances.find(rootKey());
+    return It != Instances.end() && It->second->G->locationDegraded(L);
+  }
+
+  /// Total degraded-cell marks across all instances.
+  size_t degradedCellCount() const {
+    size_t N = 0;
+    for (const auto &[Key, Inst] : Instances)
+      N += Inst->G->degradedCellCount();
+    return N;
+  }
+
+  /// Empties every degraded cell in every instance and re-seeds callee
+  /// entries from scratch (budget-tightened widening coarsens entries, so
+  /// dropping contributions is the only way back to full precision).
+  /// Re-demanding afterwards, outside the exhausted budget, reproduces the
+  /// unbudgeted analysis. Returns the number of marks cleared.
+  size_t invalidateDegraded() {
+    size_t N = 0;
+    for (auto &[Key, Inst] : Instances)
+      N += Inst->G->invalidateDegraded();
+    if (N)
+      reseedAllEntries();
+    drainDirtyExits();
+    return N;
+  }
+
+  /// Structural self-audit: per-instance Daig::auditInvariants plus the
+  /// cross-DAIG index invariants (no dangling contributions or consumer
+  /// edges) and entry monotonicity (every callee entry covers the join of
+  /// its recorded contributions — resolveCall's record-then-refresh pairing
+  /// is exception-guarded to keep this true across mid-analysis faults).
+  /// Returns "" when clean.
+  std::string auditInvariants() const {
+    for (const auto &[Key, Inst] : Instances) {
+      std::string S = Inst->G->auditInvariants();
+      if (!S.empty())
+        return Key.toString() + ": " + S;
+    }
+    for (const auto &[Key, Inst] : Instances)
+      for (const auto &[Site, Contribution] : Inst->Contributions)
+        if (!Instances.count(Site.first))
+          return "dangling contribution into " + Key.toString() +
+                 " from " + Site.first.toString();
+    for (const auto &[Callee, Consumers] : SummaryConsumers) {
+      if (!Instances.count(Callee))
+        return "summary consumers recorded for missing instance " +
+               Callee.toString();
+      for (const InstanceKey &Caller : Consumers)
+        if (!Instances.count(Caller))
+          return "missing summary consumer " + Caller.toString() + " of " +
+                 Callee.toString();
+    }
+    for (const InstanceKey &Key : PendingDirtyExits)
+      if (!Instances.count(Key))
+        return "pending dirty exit for missing instance " + Key.toString();
+    for (const auto &[Key, Inst] : Instances) {
+      if (Inst->Contributions.empty())
+        continue;
+      Elem Joined = D::bottom();
+      for (const auto &[Site, Contribution] : Inst->Contributions)
+        Joined = D::join(Joined, Contribution);
+      if (!D::leq(Joined, Inst->G->entryValue()))
+        return "entry of " + Key.toString() +
+               " does not cover its contributions";
+    }
+    return "";
+  }
+
   const Cfg *cfgOf(const std::string &Fn) const {
     const Function *F = Prog.find(Fn);
     assert(F && "unknown function");
@@ -321,8 +417,21 @@ private:
         CIt == CalleeInst.Contributions.end() ||
         !D::equal(CIt->second, Contribution);
     if (ContributionChanged) {
+      // Exception guard: a fault/cancel inside refreshEntry's domain ops
+      // must not leave a recorded contribution the entry does not cover
+      // (the auditInvariants monotonicity check).
+      bool HadOld = CIt != CalleeInst.Contributions.end();
+      Elem Old = HadOld ? CIt->second : D::bottom();
       CalleeInst.Contributions[SiteKey] = Contribution;
-      refreshEntry(CalleeKey, CalleeInst, /*AllowShrink=*/false);
+      try {
+        refreshEntry(CalleeKey, CalleeInst, /*AllowShrink=*/false);
+      } catch (...) {
+        if (HadOld)
+          CalleeInst.Contributions[SiteKey] = std::move(Old);
+        else
+          CalleeInst.Contributions.erase(SiteKey);
+        throw;
+      }
     }
 
     SummaryConsumers[CalleeKey].insert(Caller);
@@ -343,18 +452,28 @@ private:
       Joined = D::join(Joined, Contribution);
     const Elem &Cur = Inst.G->entryValue();
     Elem Entry = std::move(Joined);
+    bool Tightened = false;
     if (!AllowShrink) {
       if (D::leq(Entry, Cur))
         return; // already covered: keep the (possibly larger) entry
       // Widening delay: plain joins for the first few growths keep
       // precision (e.g. loop-carried call arguments); widening afterwards
       // bounds the number of entry updates in infinite-height domains.
+      // Under a soft-degraded budget the delay drops to zero — widen
+      // immediately to cap further entry-update work — and entries
+      // coarsened by that tightening are flagged with degraded provenance.
       constexpr unsigned WideningDelay = 4;
+      unsigned Delay = budgetDegraded() ? 0 : WideningDelay;
       if (!D::isBottom(Cur)) {
-        if (Inst.EntryGrowths++ < WideningDelay)
+        unsigned Growth = Inst.EntryGrowths++;
+        if (Growth < Delay) {
           Entry = D::join(Cur, Entry);
-        else
+        } else {
           Entry = D::widen(Cur, D::join(Cur, Entry));
+          // Degraded provenance only when the un-degraded policy would
+          // still have joined (Growth below the normal delay).
+          Tightened = budgetDegraded() && Growth < WideningDelay;
+        }
       }
     } else {
       Inst.EntryGrowths = 0;
@@ -362,6 +481,8 @@ private:
     if (!D::equal(Entry, Cur)) {
       bool NowBottom = D::isBottom(Entry);
       Inst.G->updateEntry(std::move(Entry));
+      if (Tightened)
+        Inst.G->markEntryDegraded();
       Inst.FullyQueried = false;
       // A dead instance (entry ⊥ after an edit) can no longer vouch for its
       // own outgoing contributions: cascade the drop down the call DAG.

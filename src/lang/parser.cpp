@@ -42,6 +42,27 @@ private:
   size_t Pos = 0;
   std::optional<std::string> Err;
 
+  /// Recursion ceiling across the mutually recursive productions. The
+  /// recursive-descent frames are large enough (larger still under ASan)
+  /// that pathological nesting — thousands of parens, unary operators, or
+  /// statement blocks — would overflow the stack instead of producing a
+  /// diagnostic without this bound.
+  static constexpr unsigned MaxDepth = 400;
+  unsigned Depth = 0;
+
+  struct DepthGuard {
+    unsigned &D;
+    explicit DepthGuard(unsigned &Depth) : D(Depth) { ++D; }
+    ~DepthGuard() { --D; }
+  };
+
+  bool tooDeep() {
+    if (Depth <= MaxDepth)
+      return false;
+    error("nesting exceeds the parser depth limit");
+    return true;
+  }
+
   const Token &peek(size_t Ahead = 0) const {
     size_t I = Pos + Ahead;
     return I < Toks.size() ? Toks[I] : Toks.back();
@@ -105,7 +126,8 @@ private:
   }
 
   AstStmtPtr parseStmt() {
-    if (Err)
+    DepthGuard G(Depth);
+    if (Err || tooDeep())
       return nullptr;
     switch (peek().Kind) {
     case TokenKind::Semi:
@@ -136,10 +158,13 @@ private:
       AstStmtPtr Else = AstStmt::mkBlock({});
       if (at(TokenKind::KwElse)) {
         consume();
-        if (at(TokenKind::KwIf))
+        if (at(TokenKind::KwIf)) {
           Else = parseStmt(); // else-if chain
-        else
+          if (!Else)          // bailed (depth limit) — keep mkIf's contract
+            Else = AstStmt::mkBlock({});
+        } else {
           Else = parseBlock();
+        }
       }
       return AstStmt::mkIf(std::move(Cond), std::move(Then), std::move(Else));
     }
@@ -230,7 +255,12 @@ private:
   }
 
   // Expression parsing: precedence climbing.
-  ExprPtr parseExpr() { return parseOr(); }
+  ExprPtr parseExpr() {
+    DepthGuard G(Depth);
+    if (tooDeep())
+      return Expr::mkInt(0);
+    return parseOr();
+  }
 
   ExprPtr parseOr() {
     ExprPtr L = parseAnd();
@@ -298,6 +328,11 @@ private:
   }
 
   ExprPtr parseUnary() {
+    // Guarded separately from parseExpr: `-` / `!` chains recurse here
+    // without passing through parseExpr.
+    DepthGuard G(Depth);
+    if (tooDeep())
+      return Expr::mkInt(0);
     if (at(TokenKind::Minus)) {
       consume();
       return Expr::mkUnary(UnaryOp::Neg, parseUnary());
@@ -335,7 +370,14 @@ private:
     switch (peek().Kind) {
     case TokenKind::IntLit: {
       Token T = consume();
-      return Expr::mkInt(std::stoll(T.Text));
+      // stoll throws out_of_range on literals past int64; report it as a
+      // located diagnostic like every other malformed input.
+      try {
+        return Expr::mkInt(std::stoll(T.Text));
+      } catch (const std::exception &) {
+        error("integer literal '" + T.Text + "' does not fit in 64 bits");
+        return Expr::mkInt(0);
+      }
     }
     case TokenKind::KwTrue:
       consume();

@@ -34,6 +34,9 @@ struct Statistics {
   uint64_t CellsDirtied = 0;  ///< Reference cells emptied by edits.
   uint64_t CallSummaries = 0; ///< Interprocedural callee-summary demands.
   uint64_t MemoEvictions = 0; ///< Memo-table entries dropped by the LRU cap.
+  uint64_t CellsDegraded = 0; ///< Cells ⊤-substituted or taint-marked by a
+                              ///< budget (support/budget.h) — nonzero means
+                              ///< some answers carry degraded provenance.
 
   void reset() { *this = Statistics(); }
 
@@ -53,6 +56,7 @@ struct Statistics {
     R.CellsDirtied = CellsDirtied - O.CellsDirtied;
     R.CallSummaries = CallSummaries - O.CallSummaries;
     R.MemoEvictions = MemoEvictions - O.MemoEvictions;
+    R.CellsDegraded = CellsDegraded - O.CellsDegraded;
     return R;
   }
 };
@@ -63,7 +67,8 @@ inline std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << " cellReuses=" << S.CellReuses << " memoHits=" << S.MemoHits
      << " memoMisses=" << S.MemoMisses << " dirtied=" << S.CellsDirtied
      << " callSummaries=" << S.CallSummaries
-     << " memoEvictions=" << S.MemoEvictions << "}";
+     << " memoEvictions=" << S.MemoEvictions
+     << " cellsDegraded=" << S.CellsDegraded << "}";
   return OS;
 }
 
@@ -147,6 +152,12 @@ struct ZoneCounters {
   uint64_t IncrementalCloses = 0; ///< Single-edge close_over_edge runs.
   uint64_t ClosesSkipped = 0;     ///< close() calls on already-closed values.
   uint64_t CachedCloses = 0;      ///< Closures answered by a closedView cache.
+  // Budget events (support/budget.h), mirrored here so the bench reports
+  // them per sweep size; the regression gate asserts all three stay zero
+  // on the default, un-budgeted workload.
+  uint64_t BudgetExhaustions = 0;     ///< Hard budget-limit latches.
+  uint64_t DegradedCells = 0;         ///< Cells ⊤-substituted/taint-marked.
+  uint64_t CancellationsHonored = 0;  ///< Cancellation tokens honored.
 
   void reset() { *this = ZoneCounters(); }
 
@@ -160,6 +171,9 @@ struct ZoneCounters {
     R.IncrementalCloses = IncrementalCloses - O.IncrementalCloses;
     R.ClosesSkipped = ClosesSkipped - O.ClosesSkipped;
     R.CachedCloses = CachedCloses - O.CachedCloses;
+    R.BudgetExhaustions = BudgetExhaustions - O.BudgetExhaustions;
+    R.DegradedCells = DegradedCells - O.DegradedCells;
+    R.CancellationsHonored = CancellationsHonored - O.CancellationsHonored;
     return R;
   }
 };
@@ -171,7 +185,10 @@ inline std::ostream &operator<<(std::ostream &OS, const ZoneCounters &C) {
      << " fullCloses=" << C.FullCloses
      << " incrementalCloses=" << C.IncrementalCloses
      << " closesSkipped=" << C.ClosesSkipped
-     << " cachedCloses=" << C.CachedCloses << "}";
+     << " cachedCloses=" << C.CachedCloses
+     << " budgetExhaustions=" << C.BudgetExhaustions
+     << " degradedCells=" << C.DegradedCells
+     << " cancellationsHonored=" << C.CancellationsHonored << "}";
   return OS;
 }
 
@@ -202,6 +219,10 @@ struct StagedCounters {
                                     ///< one is a dense octagon evaluation
                                     ///< avoided.
   uint64_t SumQueries = 0;          ///< ±x±y (sum-form) bounds queries.
+  // Budget events (support/budget.h) — see the ZoneCounters note.
+  uint64_t BudgetExhaustions = 0;     ///< Hard budget-limit latches.
+  uint64_t DegradedCells = 0;         ///< Cells ⊤-substituted/taint-marked.
+  uint64_t CancellationsHonored = 0;  ///< Cancellation tokens honored.
 
   void reset() { *this = StagedCounters(); }
 
@@ -212,6 +233,9 @@ struct StagedCounters {
     R.EscalatedTransfers = EscalatedTransfers - O.EscalatedTransfers;
     R.ZoneTransfers = ZoneTransfers - O.ZoneTransfers;
     R.SumQueries = SumQueries - O.SumQueries;
+    R.BudgetExhaustions = BudgetExhaustions - O.BudgetExhaustions;
+    R.DegradedCells = DegradedCells - O.DegradedCells;
+    R.CancellationsHonored = CancellationsHonored - O.CancellationsHonored;
     return R;
   }
 };
@@ -220,7 +244,10 @@ inline std::ostream &operator<<(std::ostream &OS, const StagedCounters &C) {
   OS << "{escalations=" << C.Escalations << " octSeeds=" << C.OctSeeds
      << " escalatedTransfers=" << C.EscalatedTransfers
      << " zoneTransfers=" << C.ZoneTransfers
-     << " sumQueries=" << C.SumQueries << "}";
+     << " sumQueries=" << C.SumQueries
+     << " budgetExhaustions=" << C.BudgetExhaustions
+     << " degradedCells=" << C.DegradedCells
+     << " cancellationsHonored=" << C.CancellationsHonored << "}";
   return OS;
 }
 
