@@ -1,0 +1,419 @@
+//===-- bench/batch_verify.cpp - Checker throughput & incremental bench ---===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checker subsystem's bench (analysis/checker.h, analysis/checks_db.h),
+/// in two phases:
+///
+///  1. **Batch throughput** — verifies the whole bench/corpus program set
+///     (2-call-site interval engine, every instance of every function) and
+///     reports programs/sec plus aggregate verdict counts: the ebpf-verifier
+///     style "how fast does CI chew the corpus" number.
+///
+///  2. **Incremental re-checking** — the DAIG-native claim: on the Section
+///     7.3 edit workload (asserts enabled), after every edit the
+///     IncrementalChecker re-verifies the whole assertion set, and the
+///     deterministic ChecksRechecked counter proves the re-evaluated slice
+///     stays small (< 25% of obligations per edit, averaged) while the
+///     verdicts stay bit-identical to a from-scratch batch re-verification
+///     (a fresh DAIG over the same program) after EVERY edit.
+///
+/// JSON rows go to BENCH_verify.json (one row per line — the regression
+/// gate parses line-wise, see scripts/check_bench_regression.sh args 4/5):
+/// `checks_rechecked` is the gated counter, `verdict_mismatches` must be 0.
+///
+/// Exit status: nonzero on any verdict mismatch or on an average re-check
+/// fraction >= 25% — the bench is itself the acceptance test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/checker.h"
+#include "analysis/checks_db.h"
+#include "bench/corpus/array_programs.h"
+#include "cfg/lowering.h"
+#include "daig/daig.h"
+#include "domain/interval.h"
+#include "interproc/engine.h"
+#include "workload/generator.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace dai;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+}
+
+struct Options {
+  unsigned Edits = 250;
+  uint64_t Seed = 42;
+  unsigned Vars = 12; // unused placeholder kept for flag parity
+  unsigned Repeats = 3;
+  unsigned PctAssert = 12;
+  std::vector<unsigned> SweepSizes = {8, 16, 32, 48};
+  std::string JsonPath = "BENCH_verify.json";
+  bool WriteJson = true;
+};
+
+//===----------------------------------------------------------------------===//
+// Phase 1: corpus batch throughput
+//===----------------------------------------------------------------------===//
+
+// The corpus programs carry array manipulation, so the meaningful battery is
+// assertions + div-by-zero + bounds; the overflow battery would only add a
+// constant-rate WARNING stream to every arithmetic node.
+constexpr uint32_t kCorpusMask = checkMask(CheckKind::UserAssertion) |
+                                 checkMask(CheckKind::DivByZero) |
+                                 checkMask(CheckKind::ArrayBounds);
+
+struct CorpusResult {
+  unsigned Programs = 0;
+  double BestWallMs = 0; ///< Fastest of Repeats sweeps.
+  double ProgramsPerSec = 0;
+  VerdictCounts Counts;          ///< From the first sweep (deterministic).
+  uint64_t ChecksEvaluated = 0;  ///< Likewise.
+};
+
+/// One full verification sweep over the corpus. Returns per-sweep verdict
+/// tallies; obligations are evaluated once per analyzed (function, context)
+/// instance containing them, like the Section 7.2 study.
+VerdictCounts sweepCorpus(Statistics &Stats, unsigned &ProgramsOut) {
+  VerdictCounts Counts;
+  ProgramsOut = 0;
+  for (int I = 0; I < corpus::NumArrayPrograms; ++I) {
+    const auto &Prog = corpus::ArrayPrograms[I];
+    LowerResult LR = frontend(Prog.Source);
+    if (!LR.ok()) {
+      std::fprintf(stderr, "corpus program %s failed to lower: %s\n",
+                   Prog.Name, LR.Error.c_str());
+      continue;
+    }
+    InterprocEngine<IntervalDomain> Engine(std::move(LR.Prog), "main",
+                                           /*K=*/2);
+    if (!Engine.valid()) {
+      std::fprintf(stderr, "%s: %s\n", Prog.Name, Engine.error().c_str());
+      continue;
+    }
+    Engine.analyzeAllFromMain();
+    ++ProgramsOut;
+
+    // Obligation inventory per function, collected once.
+    std::map<SymbolId, std::vector<Obligation>> ObsByFn;
+    for (const auto &[FnName, F] : Engine.program().Functions)
+      ObsByFn[internSymbol(FnName)] = collectObligations(F.Body, kCorpusMask);
+
+    ChecksDb Db;
+    Engine.forEachInstance([&](const auto &Key, Daig<IntervalDomain> &G) {
+      const auto &Obs = ObsByFn[Key.Fn];
+      if (Obs.empty())
+        return;
+      Counts += runChecks<IntervalDomain>(
+          Obs, [&](Loc L) { return G.queryLocation(L); },
+          [&](Loc L) { return G.locationDegraded(L); }, Db, &Stats);
+    });
+  }
+  return Counts;
+}
+
+CorpusResult runCorpus(const Options &Opt) {
+  CorpusResult R;
+  for (unsigned Rep = 0; Rep < Opt.Repeats; ++Rep) {
+    Statistics Stats;
+    unsigned Programs = 0;
+    Clock::time_point T0 = Clock::now();
+    VerdictCounts Counts = sweepCorpus(Stats, Programs);
+    double Ms = msSince(T0);
+    if (Rep == 0) {
+      R.Counts = Counts;
+      R.ChecksEvaluated = Stats.ChecksEvaluated;
+      R.Programs = Programs;
+      R.BestWallMs = Ms;
+    } else if (Ms < R.BestWallMs) {
+      R.BestWallMs = Ms;
+    }
+  }
+  R.ProgramsPerSec =
+      R.BestWallMs > 0 ? 1000.0 * R.Programs / R.BestWallMs : 0.0;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 2: incremental re-checking sweep
+//===----------------------------------------------------------------------===//
+
+/// Flattens a ChecksDb into (edge, sub-index) → (kind, verdict) for exact
+/// comparison between the incremental and batch passes.
+std::map<std::pair<EdgeId, uint32_t>, std::pair<CheckKind, Verdict>>
+flatten(const ChecksDb &Db) {
+  std::map<std::pair<EdgeId, uint32_t>, std::pair<CheckKind, Verdict>> Out;
+  for (Loc L : Db.locations())
+    for (const CheckResult &R : Db.at(L))
+      Out[{R.Edge, R.SubIndex}] = {R.Kind, R.V};
+  return Out;
+}
+
+uint64_t countMismatches(const ChecksDb &A, const ChecksDb &B) {
+  auto FA = flatten(A), FB = flatten(B);
+  uint64_t Bad = 0;
+  for (const auto &[K, V] : FA) {
+    auto It = FB.find(K);
+    if (It == FB.end() || It->second != V)
+      ++Bad;
+  }
+  for (const auto &[K, V] : FB) {
+    (void)V;
+    if (!FA.count(K))
+      ++Bad;
+  }
+  return Bad;
+}
+
+struct SweepResult {
+  unsigned Vars = 0;
+  double WallMs = 0; ///< Edit + incremental-recheck loop only (the batch
+                     ///< comparison runs outside the timed region).
+  uint64_t ChecksEvaluated = 0;
+  uint64_t ChecksRechecked = 0;
+  uint64_t ChecksTotal = 0; ///< Cumulative obligations over all re-passes.
+  uint64_t AlarmsRaised = 0;
+  uint64_t VerdictMismatches = 0;
+  double AvgRecheckPct = 0;
+  double MaxRecheckPct = 0;
+};
+
+SweepResult runSweep(const Options &Opt, unsigned Vars) {
+  SweepResult R;
+  R.Vars = Vars;
+
+  WorkloadOptions WOpts;
+  WOpts.Seed = Opt.Seed;
+  WOpts.NumVars = Vars;
+  WOpts.PctAssertStmt = Opt.PctAssert;
+  WorkloadGenerator Gen(WOpts);
+  Program P = Gen.makeInitialProgram();
+  Function *Main = P.find("main");
+
+  Statistics Stats;
+  Daig<IntervalDomain> G(&Main->Body,
+                         IntervalDomain::initialEntry(Main->Params), &Stats);
+  IncrementalChecker<IntervalDomain> Checker(G, Main->Body, &Stats);
+  Checker.recheck(); // initial full pass (not counted as re-checking)
+
+  double SumPct = 0;
+  unsigned PctSamples = 0;
+  double WallMs = 0;
+
+  for (unsigned E = 0; E < Opt.Edits; ++E) {
+    EditRecord Rec = Gen.applyRandomEdit(P);
+    uint64_t Before = Stats.ChecksRechecked;
+
+    Clock::time_point T0 = Clock::now();
+    if (Rec.Kind == EditKind::InsertStmt)
+      G.applyInsertedStatement(Rec.At, Rec.Splice); // falls back internally
+    else
+      G.rebuild();
+    VerdictCounts Counts = Checker.recheck();
+    WallMs += msSince(T0);
+
+    uint64_t Rechecked = Stats.ChecksRechecked - Before;
+    uint64_t Total = Counts.total();
+    R.ChecksTotal += Total;
+    if (Total > 0) {
+      double Pct = 100.0 * static_cast<double>(Rechecked) /
+                   static_cast<double>(Total);
+      SumPct += Pct;
+      ++PctSamples;
+      if (Pct > R.MaxRecheckPct)
+        R.MaxRecheckPct = Pct;
+    }
+
+    // Batch re-verification from scratch: a fresh DAIG over the same
+    // program must produce the identical verdict set.
+    Statistics BatchStats;
+    Daig<IntervalDomain> Fresh(
+        &Main->Body, IntervalDomain::initialEntry(Main->Params), &BatchStats);
+    ChecksDb BatchDb;
+    std::vector<Obligation> Obs = collectObligations(Main->Body);
+    runChecks<IntervalDomain>(
+        Obs, [&](Loc L) { return Fresh.queryLocation(L); },
+        [&](Loc L) { return Fresh.locationDegraded(L); }, BatchDb,
+        &BatchStats);
+    R.VerdictMismatches += countMismatches(Checker.db(), BatchDb);
+  }
+
+  R.WallMs = WallMs;
+  R.ChecksEvaluated = Stats.ChecksEvaluated;
+  R.ChecksRechecked = Stats.ChecksRechecked;
+  R.AlarmsRaised = Stats.AlarmsRaised;
+  R.AvgRecheckPct = PctSamples ? SumPct / PctSamples : 0.0;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Output
+//===----------------------------------------------------------------------===//
+
+void writeJson(const Options &Opt, const CorpusResult &C,
+               const std::vector<SweepResult> &Sweeps) {
+  std::ofstream OS(Opt.JsonPath);
+  if (!OS) {
+    std::fprintf(stderr, "cannot write %s\n", Opt.JsonPath.c_str());
+    return;
+  }
+  OS << "{\n";
+  OS << "  \"bench\": \"batch_verify\",\n";
+  OS << "  \"edits\": " << Opt.Edits << ",\n";
+  OS << "  \"seed\": " << Opt.Seed << ",\n";
+  OS << "  \"pct_assert\": " << Opt.PctAssert << ",\n";
+  OS << "  \"corpus\": {\"programs\": " << C.Programs
+     << ", \"programs_per_sec\": " << C.ProgramsPerSec
+     << ", \"corpus_wall_ms\": " << C.BestWallMs
+     << ", \"checks\": " << C.ChecksEvaluated
+     << ", \"safe\": " << C.Counts.Safe
+     << ", \"warning\": " << C.Counts.Warning
+     << ", \"error\": " << C.Counts.Error
+     << ", \"unreachable\": " << C.Counts.Unreachable << "},\n";
+  OS << "  \"sizes\": [\n";
+  for (size_t I = 0; I < Sweeps.size(); ++I) {
+    const SweepResult &S = Sweeps[I];
+    OS << "    {\"domain\": \"interval\", \"vars\": " << S.Vars
+       << ", \"wall_ms\": " << S.WallMs
+       << ", \"checks_evaluated\": " << S.ChecksEvaluated
+       << ", \"checks_rechecked\": " << S.ChecksRechecked
+       << ", \"checks_total\": " << S.ChecksTotal
+       << ", \"alarms_raised\": " << S.AlarmsRaised
+       << ", \"verdict_mismatches\": " << S.VerdictMismatches
+       << ", \"avg_recheck_pct\": " << S.AvgRecheckPct
+       << ", \"max_recheck_pct\": " << S.MaxRecheckPct << "}"
+       << (I + 1 < Sweeps.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+  std::printf("wrote %s\n", Opt.JsonPath.c_str());
+}
+
+void usage(const char *Argv0) {
+  std::printf(
+      "usage: %s [--edits N] [--seed S] [--repeats N] [--pct-assert N]\n"
+      "          [--sizes N,N,...] [--json PATH] [--no-json]\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    auto next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s requires a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(Argv[I], "--edits")) {
+      Opt.Edits = static_cast<unsigned>(std::strtoul(next("--edits"), nullptr, 10));
+    } else if (!std::strcmp(Argv[I], "--seed")) {
+      Opt.Seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(Argv[I], "--repeats")) {
+      Opt.Repeats = static_cast<unsigned>(
+          std::strtoul(next("--repeats"), nullptr, 10));
+    } else if (!std::strcmp(Argv[I], "--pct-assert")) {
+      Opt.PctAssert = static_cast<unsigned>(
+          std::strtoul(next("--pct-assert"), nullptr, 10));
+    } else if (!std::strcmp(Argv[I], "--sizes")) {
+      Opt.SweepSizes.clear();
+      const char *S = next("--sizes");
+      while (*S) {
+        char *End = nullptr;
+        unsigned long V = std::strtoul(S, &End, 10);
+        if (End == S)
+          break;
+        Opt.SweepSizes.push_back(static_cast<unsigned>(V));
+        S = (*End == ',') ? End + 1 : End;
+      }
+    } else if (!std::strcmp(Argv[I], "--json")) {
+      Opt.JsonPath = next("--json");
+    } else if (!std::strcmp(Argv[I], "--no-json")) {
+      Opt.WriteJson = false;
+    } else if (!std::strcmp(Argv[I], "--help")) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", Argv[I]);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("# batch_verify: checker throughput + incremental re-check\n");
+
+  // Phase 1: corpus throughput.
+  CorpusResult C = runCorpus(Opt);
+  std::printf("\n## corpus batch verification (interval, k=2, best of %u)\n",
+              Opt.Repeats);
+  std::printf("programs: %u  wall: %.1f ms  throughput: %.1f programs/sec\n",
+              C.Programs, C.BestWallMs, C.ProgramsPerSec);
+  std::printf("checks: %llu  safe: %llu  warning: %llu  error: %llu  "
+              "unreachable: %llu\n",
+              static_cast<unsigned long long>(C.ChecksEvaluated),
+              static_cast<unsigned long long>(C.Counts.Safe),
+              static_cast<unsigned long long>(C.Counts.Warning),
+              static_cast<unsigned long long>(C.Counts.Error),
+              static_cast<unsigned long long>(C.Counts.Unreachable));
+
+  // Phase 2: incremental re-checking.
+  std::printf("\n## incremental re-check sweep (%u edits, seed %llu, "
+              "%u%% asserts)\n",
+              Opt.Edits, static_cast<unsigned long long>(Opt.Seed),
+              Opt.PctAssert);
+  std::printf("%6s %10s %12s %12s %12s %10s %10s %10s\n", "vars", "wall_ms",
+              "evaluated", "rechecked", "total", "avg_pct", "max_pct",
+              "mismatch");
+  std::vector<SweepResult> Sweeps;
+  bool Ok = true;
+  for (unsigned Vars : Opt.SweepSizes) {
+    SweepResult S = runSweep(Opt, Vars);
+    std::printf("%6u %10.1f %12llu %12llu %12llu %9.2f%% %9.2f%% %10llu\n",
+                S.Vars, S.WallMs,
+                static_cast<unsigned long long>(S.ChecksEvaluated),
+                static_cast<unsigned long long>(S.ChecksRechecked),
+                static_cast<unsigned long long>(S.ChecksTotal),
+                S.AvgRecheckPct, S.MaxRecheckPct,
+                static_cast<unsigned long long>(S.VerdictMismatches));
+    if (S.VerdictMismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu incremental-vs-batch verdict mismatches at "
+                   "%u vars\n",
+                   static_cast<unsigned long long>(S.VerdictMismatches),
+                   S.Vars);
+      Ok = false;
+    }
+    if (S.AvgRecheckPct >= 25.0) {
+      std::fprintf(stderr,
+                   "FAIL: average re-check fraction %.2f%% >= 25%% at %u "
+                   "vars\n",
+                   S.AvgRecheckPct, S.Vars);
+      Ok = false;
+    }
+    Sweeps.push_back(S);
+  }
+
+  if (Opt.WriteJson)
+    writeJson(Opt, C, Sweeps);
+  return Ok ? 0 : 1;
+}

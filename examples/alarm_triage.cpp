@@ -8,13 +8,20 @@
 /// The deployment scenario motivating the paper (Section 1): batch analysis
 /// in CI raises an alarm; the developer edits locally and wants to know
 /// *immediately* whether the change silences the alarm — without waiting for
-/// a batch re-run. Demanded abstract interpretation answers the single
-/// alarm-site query incrementally, at a tiny fraction of batch cost.
+/// a batch re-run. Demanded abstract interpretation answers the alarm-site
+/// queries incrementally, at a tiny fraction of batch cost.
+///
+/// This is the checker subsystem's walkthrough client: obligations are
+/// derived by analysis/checker.h (the implicit array-bounds check at
+/// `buf[cursor] = received` plus the developer's own `assert`), verdicts
+/// land in a ChecksDb, and IncrementalChecker re-checks only the demanded
+/// slice after each edit.
 ///
 /// Build & run:  ./build/examples/alarm_triage
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/checker.h"
 #include "cfg/lowering.h"
 #include "daig/daig.h"
 #include "domain/interval.h"
@@ -33,20 +40,12 @@ EdgeId edgeOf(const Cfg &G, const char *Text) {
   return InvalidEdgeId;
 }
 
-/// Re-checks the alarm: is the buffer access at the alarm site provably in
-/// bounds under the current program?
-bool alarmSilenced(Daig<IntervalDomain> &G, const Cfg &C, EdgeId AlarmEdge) {
-  const CfgEdge *E = C.findEdge(AlarmEdge);
-  IntervalState Pre = G.queryLocation(E->Src);
-  ObligationSummary Sum = checkArrayObligations(Pre, E->Label);
-  return Sum.Verified == Sum.Total;
-}
-
 } // namespace
 
 int main() {
-  // A processing routine: CI's batch analysis flags `buf[cursor]` because
-  // cursor can run one past the end.
+  // A processing routine: CI's batch verification flags `buf[cursor]`
+  // because cursor can run one past the end. The developer also wrote an
+  // explicit postcondition with the `assert` statement.
   const char *Source = R"(
     function main(msgcount) {
       var buf = [0, 0, 0, 0, 0, 0, 0, 0];
@@ -59,6 +58,7 @@ int main() {
         }
         received = received + 1;
       }
+      assert(cursor >= 0);
       return cursor;
     }
   )";
@@ -73,16 +73,21 @@ int main() {
                              IntervalDomain::initialEntry(Main.Params),
                              &Stats);
 
-  EdgeId AlarmEdge = edgeOf(Main.Body, "buf[cursor] = received");
-  std::printf("== CI alarm: possible out-of-bounds write at "
-              "`buf[cursor] = received` ==\n\n");
-  bool Ok = alarmSilenced(Graph, Main.Body, AlarmEdge);
+  // Bounds checks + user assertions; overflow checking is off here to keep
+  // the triage report focused on the CI alarm.
+  const uint32_t Mask =
+      checkMask(CheckKind::ArrayBounds) | checkMask(CheckKind::UserAssertion);
+  IncrementalChecker<IntervalDomain> Checker(Graph, Main.Body, &Stats, Mask);
+
+  std::printf("== CI batch verification ==\n\n");
+  VerdictCounts Initial = Checker.recheck();
   uint64_t BatchCost = Stats.Transfers;
-  std::printf("initial check: %s  (%llu transfers — the 'batch' cost)\n",
-              Ok ? "SAFE" : "ALARM CONFIRMED",
+  std::printf("%s\n", Checker.db().report().c_str());
+  std::printf("(%llu transfers — the 'batch' cost)\n\n",
               (unsigned long long)BatchCost);
 
   // The developer tries a fix: tighten the guard from <= to <.
+  std::printf("== local fix: guard `<=` becomes `<` ==\n\n");
   EdgeId Guard = edgeOf(Main.Body, "assume cursor <= buf.length");
   Graph.applyStatementEdit(
       Guard, Stmt::mkAssume(Expr::mkBinary(
@@ -96,14 +101,17 @@ int main() {
                     Expr::mkField(Expr::mkVar("buf"), "length"))));
 
   uint64_t Before = Stats.Transfers;
-  Ok = alarmSilenced(Graph, Main.Body, AlarmEdge);
-  std::printf("after local fix (<= became <): %s  (%llu transfers — "
-              "incremental re-check)\n",
-              Ok ? "ALARM SILENCED" : "still unsafe",
-              (unsigned long long)(Stats.Transfers - Before));
-  std::printf("\nincremental re-check cost vs batch: %llu vs %llu "
-              "transfers\n",
+  VerdictCounts After = Checker.recheck();
+  std::printf("%s\n", Checker.db().report().c_str());
+  std::printf("(%llu transfers — incremental re-check; %llu of %llu "
+              "obligations re-evaluated)\n\n",
               (unsigned long long)(Stats.Transfers - Before),
-              (unsigned long long)BatchCost);
-  return Ok ? 0 : 1;
+              (unsigned long long)Stats.ChecksRechecked,
+              (unsigned long long)Checker.obligationCount());
+
+  bool Triaged = Initial.alarms() > 0 && After.alarms() == 0;
+  std::printf("verdict: %s\n",
+              Triaged ? "ALARM SILENCED by the local fix"
+                      : "triage failed — unexpected verdict drift");
+  return Triaged ? 0 : 1;
 }

@@ -19,12 +19,23 @@
 # still recorded in the JSON and printed here for context.
 #
 # usage: check_bench_regression.sh BASELINE.json FRESH.json [THRESHOLD_PCT]
+#                                  [VERIFY_BASELINE.json VERIFY_FRESH.json]
+#
+# With the optional 4th/5th args, the checker bench's JSON
+# (bench_batch_verify → BENCH_verify.json) is gated too, same policy:
+#   - checker: checks_rechecked (incremental re-check slice size at the
+#     largest sweep size — a regression means edits re-verify more of the
+#     assertion set than they should)
+#   - baseline-independent hard-fail on any non-zero verdict_mismatches in
+#     the fresh verify JSON (incremental and batch verdicts must be
+#     bit-identical after every edit).
 #
 # Plain POSIX sh + awk so it runs in any CI image; the JSON it parses is
 # the fixed shape bench_fig10_octagon_workload emits (one sizes-entry per
 # line, octagon entries carrying "dbm_cells_touched", zone entries
 # "zone_closure_vertices_visited", and staged entries
-# "staged_escalated_transfers").
+# "staged_escalated_transfers"); bench_batch_verify rows carry
+# "checks_rechecked" and "verdict_mismatches".
 #
 # Degraded-input policy (every branch prints a NAMED verdict — the gate
 # never silently passes and never dies on a bare shell error):
@@ -40,13 +51,15 @@
 set -u
 
 if [ "$#" -lt 2 ]; then
-  echo "usage: $0 BASELINE.json FRESH.json [THRESHOLD_PCT]" >&2
+  echo "usage: $0 BASELINE.json FRESH.json [THRESHOLD_PCT] [VERIFY_BASELINE.json VERIFY_FRESH.json]" >&2
   exit 2
 fi
 
 BASELINE=$1
 FRESH=$2
 THRESHOLD=${3:-5}
+VERIFY_BASELINE=${4:-}
+VERIFY_FRESH=${5:-}
 
 if [ ! -r "$BASELINE" ]; then
   echo "SKIP [gate]: baseline $BASELINE is missing or unreadable — no regression gate run (regenerate and commit a baseline to re-arm it)"
@@ -95,17 +108,20 @@ largest_size() {
   ' "$1"
 }
 
-# gate LABEL FIELD — compares baseline vs fresh on FIELD at the largest
-# sweep size; returns 1 on regression beyond the threshold or on malformed
-# rows, 0 on pass or named skip.
+# gate LABEL FIELD [BASELINE_FILE FRESH_FILE] — compares baseline vs fresh
+# on FIELD at the largest sweep size (defaulting to the fig10 pair);
+# returns 1 on regression beyond the threshold or on malformed rows, 0 on
+# pass or named skip.
 gate() {
   LABEL=$1
   FIELD=$2
-  BASE_ROW=$(largest_size "$BASELINE" "$FIELD") || {
+  GATE_BASE=${3:-$BASELINE}
+  GATE_FRESH=${4:-$FRESH}
+  BASE_ROW=$(largest_size "$GATE_BASE" "$FIELD") || {
     echo "SKIP [$LABEL]: baseline has no $FIELD entries (pre-$LABEL baseline); gate not run for this domain"
     return 0
   }
-  FRESH_ROW=$(largest_size "$FRESH" "$FIELD") || {
+  FRESH_ROW=$(largest_size "$GATE_FRESH" "$FIELD") || {
     echo "FAIL [$LABEL]: baseline carries $FIELD but the fresh run emits none" >&2
     return 1
   }
@@ -115,8 +131,8 @@ gate() {
   FRESH_VARS=$1 FRESH_CELLS=$2 FRESH_WALL=$3
 
   for PAIR in \
-    "baseline:$BASELINE:$BASE_VARS:$BASE_CELLS:$BASE_WALL" \
-    "fresh:$FRESH:$FRESH_VARS:$FRESH_CELLS:$FRESH_WALL"; do
+    "baseline:$GATE_BASE:$BASE_VARS:$BASE_CELLS:$BASE_WALL" \
+    "fresh:$GATE_FRESH:$FRESH_VARS:$FRESH_CELLS:$FRESH_WALL"; do
     WHICH=${PAIR%%:*}
     REST=${PAIR#*:}
     FILE=${REST%%:*}
@@ -154,9 +170,11 @@ gate() {
   '
 }
 
-# Sums a per-line numeric field across FRESH; non-numeric occurrences count
-# as a parse error (prints "NaN").
+# Sums a per-line numeric field across a fresh-results file (FIELD [FILE],
+# default the fig10 fresh JSON); non-numeric occurrences count as a parse
+# error (prints "NaN").
 sum_fresh_field() {
+  SUM_FILE=${2:-$FRESH}
   awk -v field="\"$1\":" '
     index($0, field) {
       m = $0
@@ -167,7 +185,7 @@ sum_fresh_field() {
       total += m + 0
     }
     END { print bad ? "NaN" : total + 0 }
-  ' "$FRESH"
+  ' "$SUM_FILE"
 }
 
 STATUS=0
@@ -207,5 +225,35 @@ for BFIELD in zone_budget_exhaustions zone_degraded_cells \
   fi
 done
 echo "fig10 gate [budget]: un-budgeted run shows zero budget exhaustions / degraded cells / honored cancellations"
+
+# Checker bench gate (optional args 4/5): the incremental re-check slice
+# size is deterministic like the closure counters, so it gets the same
+# threshold gate; the incremental-vs-batch verdict comparison is a
+# baseline-independent correctness condition like staged_sum_mismatches.
+if [ -n "$VERIFY_FRESH" ]; then
+  if [ ! -r "$VERIFY_FRESH" ]; then
+    echo "FAIL [checker]: fresh verify results $VERIFY_FRESH are missing or unreadable — the bench run that should have produced them failed" >&2
+    STATUS=1
+  else
+    if [ ! -r "$VERIFY_BASELINE" ]; then
+      echo "SKIP [checker]: verify baseline $VERIFY_BASELINE is missing or unreadable — checks_rechecked gate not run (regenerate and commit a baseline to re-arm it)"
+    else
+      gate checker checks_rechecked "$VERIFY_BASELINE" "$VERIFY_FRESH" || STATUS=1
+    fi
+
+    # Baseline-independent: bit-identical verdicts are a correctness
+    # invariant of the fresh run, gated even without a committed baseline.
+    VMISMATCHES=$(sum_fresh_field verdict_mismatches "$VERIFY_FRESH")
+    if ! is_num "$VMISMATCHES"; then
+      echo "FAIL [checker]: malformed verdict_mismatches field in $VERIFY_FRESH" >&2
+      STATUS=1
+    elif [ "$VMISMATCHES" -gt 0 ]; then
+      echo "FAIL [checker]: $VMISMATCHES incremental-vs-batch verdict mismatches (re-checked verdicts must be bit-identical to a full re-verification)" >&2
+      STATUS=1
+    else
+      echo "verify gate [checker]: 0 incremental-vs-batch verdict mismatches"
+    fi
+  fi
+fi
 
 exit $STATUS

@@ -17,12 +17,17 @@ trap 'rm -rf "$TMP"' EXIT INT TERM
 
 FAILURES=0
 
-# run_case NAME EXPECTED_EXIT EXPECTED_PATTERN BASELINE FRESH
+# run_case NAME EXPECTED_EXIT EXPECTED_PATTERN BASELINE FRESH [VB VF]
 # Runs the gate and checks both the exit code and that the named verdict
-# appears on stdout+stderr.
+# appears on stdout+stderr. Extra args exercise the optional checker-gate
+# pair (verify baseline + fresh verify results).
 run_case() {
   NAME=$1 WANT_EXIT=$2 WANT_PAT=$3 B=$4 F=$5
-  OUT=$(sh "$GATE" "$B" "$F" 2>&1)
+  if [ $# -ge 7 ]; then
+    OUT=$(sh "$GATE" "$B" "$F" 5 "$6" "$7" 2>&1)
+  else
+    OUT=$(sh "$GATE" "$B" "$F" 2>&1)
+  fi
   GOT_EXIT=$?
   if [ "$GOT_EXIT" -ne "$WANT_EXIT" ]; then
     echo "selftest FAIL [$NAME]: exit $GOT_EXIT, expected $WANT_EXIT" >&2
@@ -103,6 +108,53 @@ sed 's/"staged_degraded_cells": 0/"staged_degraded_cells": 7/' \
   "$TMP/fresh.json" > "$TMP/fresh_degraded.json"
 run_case degraded-nonzero 1 'FAIL \[budget\]: staged_degraded_cells is 7' \
   "$TMP/base.json" "$TMP/fresh_degraded.json"
+
+# A minimal well-formed verify result set (bench_batch_verify's row shape;
+# only the fields the checker gate reads).
+verify_json() {
+  cat <<'EOF'
+{"domain": "interval", "vars": 8, "wall_ms": 12.0, "checks_rechecked": 1500, "verdict_mismatches": 0}
+{"domain": "interval", "vars": 16, "wall_ms": 40.0, "checks_rechecked": 2000, "verdict_mismatches": 0}
+EOF
+}
+
+verify_json > "$TMP/vbase.json"
+verify_json > "$TMP/vfresh.json"
+
+# 11. Clean checker-gate pass on identical verify baseline and fresh.
+run_case checker-pass 0 'verify gate \[checker\]: 0 incremental-vs-batch' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh.json"
+
+# 12. checks_rechecked regression beyond 5%: named FAIL.
+sed 's/"checks_rechecked": 2000/"checks_rechecked": 2200/' \
+  "$TMP/vfresh.json" > "$TMP/vfresh_regressed.json"
+run_case checker-regression 1 'FAIL \[checker\]: checks_rechecked regression' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_regressed.json"
+
+# 13. Incremental-vs-batch verdict mismatch: named FAIL even though the
+# counter gate passes (baseline-independent correctness assert).
+sed 's/"checks_rechecked": 2000, "verdict_mismatches": 0/"checks_rechecked": 2000, "verdict_mismatches": 4/' \
+  "$TMP/vfresh.json" > "$TMP/vfresh_mismatch.json"
+run_case checker-verdict-mismatch 1 \
+  'FAIL \[checker\]: 4 incremental-vs-batch verdict mismatches' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_mismatch.json"
+
+# 14. Missing verify baseline: named SKIP for the counter gate, exit 0,
+# and the mismatch assert still runs.
+run_case checker-missing-baseline 0 'SKIP \[checker\]: verify baseline' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/no_such_vbase.json" "$TMP/vfresh.json"
+
+# 15. Missing fresh verify results: named FAIL — the bench run that should
+# have produced them failed.
+run_case checker-missing-fresh 1 'FAIL \[checker\]: fresh verify results' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/no_such_vfresh.json"
+
+# 16. Malformed verdict_mismatches field: named FAIL, not an awk error.
+sed 's/"verdict_mismatches": 0/"verdict_mismatches": "none"/' \
+  "$TMP/vfresh.json" > "$TMP/vfresh_garbage.json"
+run_case checker-malformed-mismatches 1 \
+  'FAIL \[checker\]: malformed verdict_mismatches' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_garbage.json"
 
 if [ "$FAILURES" -gt 0 ]; then
   echo "check_bench_regression_selftest: $FAILURES case(s) failed" >&2

@@ -546,6 +546,33 @@ public:
     return It != Cells.end() && It->second.hasValue();
   }
 
+  /// True when queryLocation(\p L) would be answered entirely from filled
+  /// cells — no evaluation, no fills. This is the incremental checker's
+  /// reuse test (analysis/checker.h): an edit dirties exactly the cells of
+  /// the affected slice (Fig. 9), so a location whose answer is still
+  /// materialized was provably untouched and its cached verdicts stand.
+  /// Conservative in one direction only: a false result may merely mean the
+  /// location was never demanded.
+  bool locationValueReady(Loc L) const {
+    if (L >= Info->Reachable.size() || !Info->Reachable[L])
+      return true; // unreachable: queryLocation answers ⊥ without evaluation
+    CountCtx Ctx;
+    for (Loc H : Info->LoopNestOf[L]) {
+      if (H == L)
+        break;
+      Name FixDest = fixCellName(H, Ctx);
+      if (!cellHasValue(FixDest))
+        return false;
+      if (!Degraded.empty() && Degraded.count(FixDest))
+        return true; // queryLocation answers with the (filled) fix value
+      auto LIt = Loops.find(FixDest);
+      Ctx[H] = LIt == Loops.end() ? 0u : LIt->second.K - 1;
+    }
+    Name N = Info->isLoopHead(L) ? fixCellName(L, Ctx)
+                                 : stateCellName(L, Ctx);
+    return cellHasValue(N);
+  }
+
   //===--------------------------------------------------------------------===//
   // Degraded provenance (support/budget.h)
   //===--------------------------------------------------------------------===//

@@ -133,7 +133,8 @@ struct ConstPropDomain {
         Out.eraseVar(S.Lhs);
       return Out;
     }
-    case StmtKind::Assume: {
+    case StmtKind::Assume:
+    case StmtKind::Assert: { // Aborts on failure: the condition holds after.
       auto V = eval(S.Rhs, In);
       if (V && *V == 0)
         return bottom();

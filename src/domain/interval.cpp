@@ -515,6 +515,7 @@ IntervalState IntervalDomain::transfer(const Stmt &S, const IntervalState &In) {
     Out.set(S.Lhs, evalImpl(S.Rhs, In));
     return Out;
   case StmtKind::Assume:
+  case StmtKind::Assert: // Execution aborts on failure, so e holds after.
     return assume(In, S.Rhs);
   case StmtKind::ArrayWrite: {
     VarAbs A = In.get(S.Lhs);

@@ -966,7 +966,8 @@ Octagon OctagonDomain::transfer(const Stmt &S, const Elem &In) {
     evalAssign(Out, internSymbol(S.Lhs), S.Rhs);
     normalize(Out);
     return Out;
-  case StmtKind::Assume: {
+  case StmtKind::Assume:
+  case StmtKind::Assert: { // Aborts on failure: the condition holds after.
     Octagon R = assume(Out, S.Rhs);
     normalize(R);
     return R;

@@ -537,7 +537,8 @@ ShapeState ShapeDomain::transfer(const Stmt &St, const Elem &In) {
       }
       break;
     }
-    case StmtKind::Assume: {
+    case StmtKind::Assume:
+    case StmtKind::Assert: { // Aborts on failure: the condition holds after.
       assumeInto(H, St.Rhs, Out.Disjuncts, MayErr);
       break;
     }

@@ -289,7 +289,8 @@ Staged StagedDomain::transfer(const Stmt &S, const Elem &In) {
   if (In.Z.isBottom())
     return bottom();
   bool Dual = In.escalated() || escalationEnabled() ||
-              (S.Kind == StmtKind::Assume && guardNeedsOctagon(S.Rhs));
+              ((S.Kind == StmtKind::Assume || S.Kind == StmtKind::Assert) &&
+               guardNeedsOctagon(S.Rhs));
   if (suppressEscalation(Dual, In.escalated()))
     Dual = false;
   return applyTiered(

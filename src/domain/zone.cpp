@@ -1158,7 +1158,8 @@ Zone ZoneDomain::transfer(const Stmt &S, const Elem &In) {
     evalAssign(Out, internSymbol(S.Lhs), S.Rhs);
     normalize(Out);
     return Out;
-  case StmtKind::Assume: {
+  case StmtKind::Assume:
+  case StmtKind::Assert: { // Aborts on failure: the condition holds after.
     Zone R = assume(Out, S.Rhs);
     normalize(R);
     return R;

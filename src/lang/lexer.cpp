@@ -30,6 +30,7 @@ const char *dai::tokenKindName(TokenKind Kind) {
   case TokenKind::KwTrue: return "'true'";
   case TokenKind::KwFalse: return "'false'";
   case TokenKind::KwList: return "'List'";
+  case TokenKind::KwAssert: return "'assert'";
   case TokenKind::LParen: return "'('";
   case TokenKind::RParen: return "')'";
   case TokenKind::LBrace: return "'{'";
@@ -69,6 +70,7 @@ TokenKind keywordKind(const std::string &Text) {
       {"print", TokenKind::KwPrint},       {"new", TokenKind::KwNew},
       {"null", TokenKind::KwNull},         {"true", TokenKind::KwTrue},
       {"false", TokenKind::KwFalse},       {"List", TokenKind::KwList},
+      {"assert", TokenKind::KwAssert},
   };
   auto It = Keywords.find(Text);
   return It == Keywords.end() ? TokenKind::Ident : It->second;

@@ -26,7 +26,7 @@ enum class TokenKind : uint8_t {
   Ident, IntLit,
   // Keywords.
   KwFunction, KwVar, KwIf, KwElse, KwWhile, KwReturn, KwPrint, KwNew,
-  KwNull, KwTrue, KwFalse, KwList,
+  KwNull, KwTrue, KwFalse, KwList, KwAssert,
   // Punctuation and operators.
   LParen, RParen, LBrace, RBrace, LBracket, RBracket,
   Comma, Semi, Dot,

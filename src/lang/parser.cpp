@@ -184,6 +184,14 @@ private:
       expect(TokenKind::Semi, "after 'print(...)'");
       return AstStmt::mkSimple(Stmt::mkPrint(std::move(Arg)));
     }
+    case TokenKind::KwAssert: {
+      consume();
+      expect(TokenKind::LParen, "after 'assert'");
+      ExprPtr Cond = parseExpr();
+      expect(TokenKind::RParen, "after the assert condition");
+      expect(TokenKind::Semi, "after 'assert(...)'");
+      return AstStmt::mkSimple(Stmt::mkAssert(std::move(Cond)));
+    }
     case TokenKind::Ident: {
       std::string Name = consume().Text;
       if (at(TokenKind::Assign)) {

@@ -71,6 +71,13 @@ Stmt Stmt::mkPrint(ExprPtr Arg) {
   return S;
 }
 
+Stmt Stmt::mkAssert(ExprPtr Cond) {
+  Stmt S;
+  S.Kind = StmtKind::Assert;
+  S.Rhs = std::move(Cond);
+  return S;
+}
+
 bool Stmt::operator==(const Stmt &O) const {
   if (Kind != O.Kind || Lhs != O.Lhs || Callee != O.Callee)
     return false;
@@ -130,6 +137,9 @@ std::string Stmt::toString() const {
   }
   case StmtKind::Print:
     OS << "print(" << exprToString(Rhs) << ")";
+    break;
+  case StmtKind::Assert:
+    OS << "assert(" << exprToString(Rhs) << ")";
     break;
   }
   return OS.str();

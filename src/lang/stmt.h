@@ -36,6 +36,9 @@ enum class StmtKind : uint8_t {
   Alloc,      ///< `x = new List` — fresh list node with `next = null`.
   Call,       ///< `x = f(e1, ..., ek)` — static, non-virtual call.
   Print,      ///< `print(e)` — analysis no-op with a data dependence on e.
+  Assert,     ///< `assert(e)` — checkable obligation; transfers refine like
+              ///< `assume e` (execution aborts on failure), and the checker
+              ///< pass evaluates e against the pre-state to raise alarms.
 };
 
 /// An atomic program statement. Value-type with structural semantics.
@@ -56,6 +59,7 @@ struct Stmt {
   static Stmt mkCall(std::string Lhs, std::string Callee,
                      std::vector<ExprPtr> Args);
   static Stmt mkPrint(ExprPtr Arg);
+  static Stmt mkAssert(ExprPtr Cond);
 
   bool operator==(const Stmt &O) const;
   bool operator!=(const Stmt &O) const { return !(*this == O); }

@@ -37,6 +37,13 @@ struct Statistics {
   uint64_t CellsDegraded = 0; ///< Cells ⊤-substituted or taint-marked by a
                               ///< budget (support/budget.h) — nonzero means
                               ///< some answers carry degraded provenance.
+  uint64_t ChecksEvaluated = 0; ///< Check obligations evaluated against an
+                                ///< abstract pre-state (analysis/checker.h).
+  uint64_t ChecksRechecked = 0; ///< Obligations re-evaluated by an
+                                ///< incremental re-check pass (the demanded
+                                ///< slice; cache hits are not counted).
+  uint64_t AlarmsRaised = 0;    ///< WARNING/ERROR verdicts recorded in a
+                                ///< ChecksDb (post degraded-clamping).
 
   void reset() { *this = Statistics(); }
 
@@ -57,6 +64,9 @@ struct Statistics {
     R.CallSummaries = CallSummaries - O.CallSummaries;
     R.MemoEvictions = MemoEvictions - O.MemoEvictions;
     R.CellsDegraded = CellsDegraded - O.CellsDegraded;
+    R.ChecksEvaluated = ChecksEvaluated - O.ChecksEvaluated;
+    R.ChecksRechecked = ChecksRechecked - O.ChecksRechecked;
+    R.AlarmsRaised = AlarmsRaised - O.AlarmsRaised;
     return R;
   }
 };
@@ -68,7 +78,10 @@ inline std::ostream &operator<<(std::ostream &OS, const Statistics &S) {
      << " memoMisses=" << S.MemoMisses << " dirtied=" << S.CellsDirtied
      << " callSummaries=" << S.CallSummaries
      << " memoEvictions=" << S.MemoEvictions
-     << " cellsDegraded=" << S.CellsDegraded << "}";
+     << " cellsDegraded=" << S.CellsDegraded
+     << " checksEvaluated=" << S.ChecksEvaluated
+     << " checksRechecked=" << S.ChecksRechecked
+     << " alarmsRaised=" << S.AlarmsRaised << "}";
   return OS;
 }
 

@@ -75,6 +75,11 @@ ExprPtr WorkloadGenerator::randomCondition() {
 
 Stmt WorkloadGenerator::randomStmt() {
   unsigned Pick = static_cast<unsigned>(R.below(100));
+  // Assert first so enabling it shifts (not reshuffles) the other bands;
+  // at the default PctAssertStmt=0 the draw sequence is unchanged.
+  if (Pick < Opts.PctAssertStmt)
+    return Stmt::mkAssert(randomCondition());
+  Pick -= Opts.PctAssertStmt;
   if (Pick < Opts.PctCallStmt && !Helpers.empty()) {
     std::vector<ExprPtr> Args = {Expr::mkVar(randomVar())};
     return Stmt::mkCall(randomVar(), Helpers[R.below(Helpers.size())],

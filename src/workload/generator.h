@@ -42,6 +42,10 @@ struct WorkloadOptions {
   unsigned PctWhile = 5;       ///< While-insertion probability (remainder).
   unsigned PctCallStmt = 8;    ///< Within statements: x = f(y) probability.
   unsigned PctArrayStmt = 10;  ///< Within statements: array ops probability.
+  unsigned PctAssertStmt = 0;  ///< Within statements: assert(c) probability.
+                               ///< Default 0 keeps the historical Section
+                               ///< 7.3 edit sequences bit-identical; the
+                               ///< checker workloads opt in.
   unsigned QueriesPerEdit = 5; ///< Random queries between edits.
   unsigned HelperCount = 3;    ///< Callable helper functions.
 };

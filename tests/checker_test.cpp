@@ -1,0 +1,449 @@
+//===-- tests/checker_test.cpp - Checker & alarm subsystem tests ----------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assertion-checking subsystem (analysis/checker.h + checks_db.h):
+/// obligation collection and masking, the ⊥-probe verdict rules per check
+/// family across the interval/zone/octagon/staged domains, UNREACHABLE on ⊥
+/// pre-states, the degraded-provenance clamp (a ⊤-substituted cell can never
+/// prove SAFE), ChecksDb bookkeeping, and the core incremental contract:
+/// IncrementalChecker verdicts after every random edit are bit-identical to
+/// a from-scratch batch re-verification, while re-evaluating strictly fewer
+/// obligations than full coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/checker.h"
+
+#include "domain/interval.h"
+#include "domain/octagon.h"
+#include "domain/staged.h"
+#include "domain/zone.h"
+#include "support/budget.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+using namespace dai;
+using namespace dai::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Obligation collection
+//===----------------------------------------------------------------------===//
+
+TEST(ObligationCollection, DerivesEveryFamilyDeterministically) {
+  const char *Src = R"(
+    function main(n, d) {
+      var a = [1, 2, 3];
+      var x = a[n];
+      a[x] = n / d;
+      assert(x >= 0);
+      return x;
+    })";
+  Function F = mustLowerFn(Src, "main");
+  std::vector<Obligation> Obs = collectObligations(F.Body);
+  // a[n] read → bounds; a[x] write → bounds; n / d → div-by-zero; assert →
+  // user assertion; no +,-,* in sight → no overflow obligations.
+  std::map<CheckKind, unsigned> Counts;
+  for (const Obligation &Ob : Obs)
+    ++Counts[Ob.Kind];
+  EXPECT_EQ(Counts[CheckKind::ArrayBounds], 2u);
+  EXPECT_EQ(Counts[CheckKind::DivByZero], 1u);
+  EXPECT_EQ(Counts[CheckKind::UserAssertion], 1u);
+  EXPECT_EQ(Counts[CheckKind::Overflow], 0u);
+  // Ascending (EdgeId, SubIndex) order — the DB's determinism contract.
+  for (size_t I = 1; I < Obs.size(); ++I)
+    EXPECT_TRUE(Obs[I - 1].Edge < Obs[I].Edge ||
+                (Obs[I - 1].Edge == Obs[I].Edge &&
+                 Obs[I - 1].SubIndex < Obs[I].SubIndex));
+}
+
+TEST(ObligationCollection, MaskFiltersFamilies) {
+  const char *Src = R"(
+    function main(n, d) {
+      var x = n / d;
+      assert(x > 0);
+      return x + 1;
+    })";
+  Function F = mustLowerFn(Src, "main");
+  for (CheckKind K : {CheckKind::UserAssertion, CheckKind::DivByZero,
+                      CheckKind::Overflow}) {
+    std::vector<Obligation> Obs = collectObligations(F.Body, checkMask(K));
+    ASSERT_FALSE(Obs.empty()) << checkKindName(K);
+    for (const Obligation &Ob : Obs)
+      EXPECT_EQ(Ob.Kind, K);
+  }
+  EXPECT_TRUE(collectObligations(F.Body, 0u).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict rules per domain (typed across the numeric domain stack)
+//===----------------------------------------------------------------------===//
+
+template <typename D> class CheckerDomainTest : public ::testing::Test {};
+using CheckerDomains =
+    ::testing::Types<IntervalDomain, ZoneDomain, OctagonDomain, StagedDomain>;
+TYPED_TEST_SUITE(CheckerDomainTest, CheckerDomains, );
+
+/// Evaluates the obligations of `main` in \p Src against a fresh DAIG and
+/// returns the database (all families unless \p Mask narrows them).
+template <typename D>
+ChecksDb verify(const char *Src, uint32_t Mask = kAllChecks) {
+  Function F = mustLowerFn(Src, "main");
+  Daig<D> G(&F.Body, D::initialEntry(F.Params));
+  EXPECT_TRUE(G.valid());
+  ChecksDb Db;
+  std::vector<Obligation> Obs = collectObligations(F.Body, Mask);
+  runChecks<D>(
+      Obs, [&](Loc L) { return G.queryLocation(L); },
+      [&](Loc L) { return G.locationDegraded(L); }, Db);
+  return Db;
+}
+
+TYPED_TEST(CheckerDomainTest, ProvenAssertionIsSafe) {
+  ChecksDb Db = verify<TypeParam>(R"(
+      function main() {
+        var x = 5;
+        assert(x > 0);
+        return x;
+      })",
+                                  checkMask(CheckKind::UserAssertion));
+  ASSERT_EQ(Db.size(), 1u);
+  EXPECT_EQ(Db.counts().Safe, 1u);
+  EXPECT_FALSE(Db.hasAlarms());
+}
+
+TYPED_TEST(CheckerDomainTest, RefutedAssertionIsError) {
+  ChecksDb Db = verify<TypeParam>(R"(
+      function main() {
+        var x = 5;
+        assert(x < 0);
+        return x;
+      })",
+                                  checkMask(CheckKind::UserAssertion));
+  ASSERT_EQ(Db.size(), 1u);
+  EXPECT_EQ(Db.counts().Error, 1u);
+  EXPECT_TRUE(Db.hasAlarms());
+}
+
+TYPED_TEST(CheckerDomainTest, UnprovenAssertionIsWarning) {
+  ChecksDb Db = verify<TypeParam>(R"(
+      function main(n) {
+        assert(n > 0);
+        return n;
+      })",
+                                  checkMask(CheckKind::UserAssertion));
+  ASSERT_EQ(Db.size(), 1u);
+  EXPECT_EQ(Db.counts().Warning, 1u);
+}
+
+TYPED_TEST(CheckerDomainTest, DeadBranchAssertionIsUnreachable) {
+  ChecksDb Db = verify<TypeParam>(R"(
+      function main() {
+        var x = 1;
+        if (x < 0) {
+          assert(x == 7);
+        }
+        return x;
+      })",
+                                  checkMask(CheckKind::UserAssertion));
+  ASSERT_EQ(Db.size(), 1u);
+  EXPECT_EQ(Db.counts().Unreachable, 1u);
+  EXPECT_FALSE(Db.hasAlarms()) << "vacuous checks are not alarms";
+}
+
+TYPED_TEST(CheckerDomainTest, DivByZeroVerdicts) {
+  // Nonzero constant divisor: proven safe.
+  ChecksDb Safe = verify<TypeParam>(R"(
+      function main(n) {
+        var x = n / 2;
+        return x;
+      })",
+                                    checkMask(CheckKind::DivByZero));
+  ASSERT_EQ(Safe.size(), 1u);
+  EXPECT_EQ(Safe.counts().Safe, 1u);
+
+  // Constant zero divisor: refuted on every reaching execution.
+  ChecksDb Err = verify<TypeParam>(R"(
+      function main(n) {
+        var d = 0;
+        var x = n / d;
+        return x;
+      })",
+                                   checkMask(CheckKind::DivByZero));
+  ASSERT_EQ(Err.size(), 1u);
+  EXPECT_EQ(Err.counts().Error, 1u);
+
+  // Unknown divisor: unproven either way.
+  ChecksDb Warn = verify<TypeParam>(R"(
+      function main(n, d) {
+        var x = n % d;
+        return x;
+      })",
+                                    checkMask(CheckKind::DivByZero));
+  ASSERT_EQ(Warn.size(), 1u);
+  EXPECT_EQ(Warn.counts().Warning, 1u);
+}
+
+TEST(CheckerInterval, ArrayBoundsVerdicts) {
+  // Constant in-bounds read: proven.
+  ChecksDb Safe = verify<IntervalDomain>(R"(
+      function main() {
+        var a = [1, 2, 3];
+        var x = a[1];
+        return x;
+      })",
+                                         checkMask(CheckKind::ArrayBounds));
+  ASSERT_EQ(Safe.size(), 1u);
+  EXPECT_EQ(Safe.counts().Safe, 1u);
+
+  // Constant out-of-bounds write: refuted.
+  ChecksDb Err = verify<IntervalDomain>(R"(
+      function main() {
+        var a = [1, 2, 3];
+        a[5] = 0;
+        return a[0];
+      })",
+                                        checkMask(CheckKind::ArrayBounds));
+  EXPECT_GE(Err.counts().Error, 1u);
+
+  // Unknown index: unproven.
+  ChecksDb Warn = verify<IntervalDomain>(R"(
+      function main(i) {
+        var a = [1, 2, 3];
+        var x = a[i];
+        return x;
+      })",
+                                         checkMask(CheckKind::ArrayBounds));
+  ASSERT_EQ(Warn.size(), 1u);
+  EXPECT_EQ(Warn.counts().Warning, 1u);
+}
+
+TEST(CheckerInterval, OverflowVerdicts) {
+  // Small constant arithmetic: contained in the 32-bit range.
+  ChecksDb Safe = verify<IntervalDomain>(R"(
+      function main() {
+        var x = 1 + 2;
+        return x;
+      })",
+                                         checkMask(CheckKind::Overflow));
+  ASSERT_EQ(Safe.size(), 1u);
+  EXPECT_EQ(Safe.counts().Safe, 1u);
+
+  // Unbounded operands: unproven.
+  ChecksDb Warn = verify<IntervalDomain>(R"(
+      function main(n) {
+        var x = n + n;
+        return x;
+      })",
+                                         checkMask(CheckKind::Overflow));
+  ASSERT_EQ(Warn.size(), 1u);
+  EXPECT_EQ(Warn.counts().Warning, 1u);
+}
+
+TEST(CheckerUnit, BottomPreStateIsUnreachable) {
+  Obligation Ob;
+  Ob.Prop = Expr::mkBinary(BinaryOp::Gt, Expr::mkVar("x"), Expr::mkInt(0));
+  Statistics Stats;
+  EXPECT_EQ(evaluateObligation<IntervalDomain>(Ob, IntervalDomain::bottom(),
+                                               /*DegradedPre=*/false, &Stats),
+            Verdict::Unreachable);
+  EXPECT_EQ(Stats.ChecksEvaluated, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded provenance: a ⊤-substituted cell can never prove SAFE
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerDegraded, DbClampsSafeToWarning) {
+  ChecksDb Db;
+  Statistics Stats;
+  CheckResult R;
+  R.Kind = CheckKind::UserAssertion;
+  R.V = Verdict::Safe;
+  R.At = 3;
+  R.DegradedPre = true;
+  Db.add(R, &Stats);
+  EXPECT_EQ(Db.counts().Safe, 0u);
+  EXPECT_EQ(Db.counts().Warning, 1u);
+  EXPECT_EQ(Db.worstAt(3), Verdict::Warning);
+  EXPECT_EQ(Stats.AlarmsRaised, 1u) << "the clamped verdict is an alarm";
+
+  // Non-degraded Safe passes through untouched.
+  R.DegradedPre = false;
+  R.At = 4;
+  Db.add(R, &Stats);
+  EXPECT_EQ(Db.counts().Safe, 1u);
+  EXPECT_EQ(Db.worstAt(4), Verdict::Safe);
+  EXPECT_EQ(Stats.AlarmsRaised, 1u);
+}
+
+TEST(CheckerDegraded, ExhaustedBudgetYieldsWarningNotSafe) {
+  // assert(0 == 0) holds of ANY state — even the budget's ⊤ substitute —
+  // so the entailment probe succeeds; the degraded clamp alone must keep
+  // the verdict at WARNING.
+  const char *Src = R"(
+    function main(n) {
+      var i = 0;
+      while (i < n) {
+        i = i + 1;
+      }
+      assert(0 == 0);
+      return i;
+    })";
+  Function F = mustLowerFn(Src, "main");
+  Daig<IntervalDomain> G(&F.Body, IntervalDomain::initialEntry(F.Params));
+  ASSERT_TRUE(G.valid());
+  ChecksDb Db;
+  Statistics Stats;
+  std::vector<Obligation> Obs =
+      collectObligations(F.Body, checkMask(CheckKind::UserAssertion));
+  ASSERT_EQ(Obs.size(), 1u);
+  {
+    AnalysisBudget B;
+    B.MaxSteps = 2; // exhausts almost immediately
+    BudgetScope Scope(B);
+    runChecks<IntervalDomain>(
+        Obs, [&](Loc L) { return G.queryLocation(L); },
+        [&](Loc L) { return G.locationDegraded(L); }, Db, &Stats);
+  }
+  ASSERT_TRUE(G.locationDegraded(Obs[0].At))
+      << "budget must have degraded the checked pre-state";
+  ASSERT_EQ(Db.size(), 1u);
+  const CheckResult &R = Db.at(Obs[0].At)[0];
+  EXPECT_EQ(R.V, Verdict::Warning) << "degraded pre-state proved SAFE";
+  EXPECT_TRUE(R.DegradedPre);
+  EXPECT_EQ(Stats.AlarmsRaised, 1u);
+
+  // Recovery: dropping the degraded cells re-proves the tautology.
+  EXPECT_GT(G.invalidateDegraded(), 0u);
+  ChecksDb Clean;
+  runChecks<IntervalDomain>(
+      Obs, [&](Loc L) { return G.queryLocation(L); },
+      [&](Loc L) { return G.locationDegraded(L); }, Clean);
+  EXPECT_EQ(Clean.counts().Safe, 1u);
+  EXPECT_FALSE(Clean.at(Obs[0].At)[0].DegradedPre);
+}
+
+//===----------------------------------------------------------------------===//
+// ChecksDb bookkeeping
+//===----------------------------------------------------------------------===//
+
+TEST(ChecksDbTest, ReportAndWorstAt) {
+  ChecksDb Db = verify<IntervalDomain>(R"(
+      function main(i) {
+        var a = [1, 2, 3];
+        var x = a[i];
+        assert(x >= 0);
+        a[9] = 1;
+        return x;
+      })");
+  EXPECT_TRUE(Db.hasAlarms());
+  std::string Report = Db.report();
+  EXPECT_NE(Report.find("[WARNING]"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("[ERROR]"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("array-bounds"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("checks:"), std::string::npos) << Report;
+  // worstAt ranks Error over Warning over Safe.
+  Verdict Worst = Verdict::Unreachable;
+  for (Loc L : Db.locations())
+    if (Db.worstAt(L) == Verdict::Error)
+      Worst = Verdict::Error;
+  EXPECT_EQ(Worst, Verdict::Error);
+  // Locations are ascending and at() round-trips the totals.
+  std::vector<Loc> Ls = Db.locations();
+  size_t N = 0;
+  for (size_t I = 0; I < Ls.size(); ++I) {
+    if (I) {
+      EXPECT_LT(Ls[I - 1], Ls[I]);
+    }
+    N += Db.at(Ls[I]).size();
+  }
+  EXPECT_EQ(N, Db.size());
+  Db.clear();
+  EXPECT_TRUE(Db.empty());
+  EXPECT_FALSE(Db.hasAlarms());
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental-vs-batch equivalence under random edits
+//===----------------------------------------------------------------------===//
+
+using VerdictMap =
+    std::map<std::pair<EdgeId, uint32_t>, std::pair<CheckKind, Verdict>>;
+
+VerdictMap flatten(const ChecksDb &Db) {
+  VerdictMap M;
+  for (Loc L : Db.locations())
+    for (const CheckResult &R : Db.at(L))
+      M[{R.Edge, R.SubIndex}] = {R.Kind, R.V};
+  return M;
+}
+
+/// From-scratch verification of `main` on a fresh DAIG (the oracle the
+/// incremental checker's verdicts must be bit-identical to).
+template <typename D> VerdictMap batchVerdicts(Function &Main) {
+  Daig<D> Fresh(&Main.Body, D::initialEntry(Main.Params));
+  ChecksDb Db;
+  std::vector<Obligation> Obs = collectObligations(Main.Body);
+  runChecks<D>(
+      Obs, [&](Loc L) { return Fresh.queryLocation(L); },
+      [&](Loc L) { return Fresh.locationDegraded(L); }, Db);
+  return flatten(Db);
+}
+
+/// Random-edit equivalence: after EVERY edit the incremental checker's
+/// database must match a from-scratch batch verification exactly, and over
+/// the run it must re-evaluate strictly fewer obligations than the total it
+/// covers (i.e., the cache tiers actually fire).
+template <typename D> void runEquivalence(uint64_t Seed, unsigned Edits) {
+  WorkloadOptions Opts;
+  Opts.Seed = Seed;
+  Opts.PctAssertStmt = 20; // workload opt-in: make user assertions common
+  WorkloadGenerator Gen(Opts);
+  Program P = Gen.makeInitialProgram();
+  Function *Main = P.find("main");
+  ASSERT_NE(Main, nullptr);
+  Statistics Stats;
+  Daig<D> G(&Main->Body, D::initialEntry(Main->Params), &Stats);
+  ASSERT_TRUE(G.valid());
+  IncrementalChecker<D> Inc(G, Main->Body, &Stats);
+  Inc.recheck();
+  uint64_t Covered = 0; // obligations covered by passes 2..N
+  for (unsigned I = 0; I < Edits; ++I) {
+    EditRecord Rec = Gen.applyRandomEdit(P);
+    if (Rec.Kind == EditKind::InsertStmt)
+      G.applyInsertedStatement(Rec.At, Rec.Splice);
+    else
+      G.rebuild();
+    Inc.recheck();
+    Covered += Inc.obligationCount();
+    VerdictMap Batch = batchVerdicts<D>(*Main);
+    ASSERT_EQ(flatten(Inc.db()), Batch)
+        << D::name() << " seed " << Seed << " diverged after edit " << I;
+  }
+  EXPECT_GT(Covered, 0u) << "workload produced no obligations";
+  EXPECT_LT(Stats.ChecksRechecked, Covered)
+      << "incremental pass re-evaluated everything — no reuse at all";
+}
+
+TEST(CheckerIncremental, MatchesBatchInterval) {
+  for (uint64_t Seed : {1u, 2u, 3u})
+    runEquivalence<IntervalDomain>(Seed, 40);
+}
+
+TEST(CheckerIncremental, MatchesBatchZone) {
+  for (uint64_t Seed : {1u, 2u, 3u})
+    runEquivalence<ZoneDomain>(Seed, 40);
+}
+
+} // namespace
