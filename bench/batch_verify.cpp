@@ -13,6 +13,16 @@
 ///     reports programs/sec plus aggregate verdict counts: the ebpf-verifier
 ///     style "how fast does CI chew the corpus" number.
 ///
+///  1b. **Parallel corpus throughput** (`--threads N,N,...`) — the same
+///     corpus verified as independent (program, round) tasks on a
+///     work-stealing TaskPool per thread count, every task's verdict set
+///     cross-checked against the serial reference (the
+///     `parallel_result_mismatches` JSON field must stay 0; the gate
+///     script hard-fails otherwise). `speedup` is relative to this phase's
+///     own threads=1 row; `hardware_threads` records how many cores the
+///     measurement actually had — on a single-core runner every speedup is
+///     necessarily ~1x and the column is only a scheduling-overhead check.
+///
 ///  2. **Incremental re-checking** — the DAIG-native claim: on the Section
 ///     7.3 edit workload (asserts enabled), after every edit the
 ///     IncrementalChecker re-verifies the whole assertion set, and the
@@ -37,8 +47,10 @@
 #include "daig/daig.h"
 #include "domain/interval.h"
 #include "interproc/engine.h"
+#include "support/task_pool.h"
 #include "workload/generator.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -66,9 +78,48 @@ struct Options {
   unsigned Repeats = 3;
   unsigned PctAssert = 12;
   std::vector<unsigned> SweepSizes = {8, 16, 32, 48};
+  std::vector<unsigned> Threads = {1, 2, 4};
+  unsigned ParallelRounds = 8; ///< Corpus sweeps per parallel measurement.
   std::string JsonPath = "BENCH_verify.json";
   bool WriteJson = true;
 };
+
+//===----------------------------------------------------------------------===//
+// Verdict flattening (shared by the incremental comparison of phase 2 and
+// the serial-vs-parallel cross-check of phase 1b)
+//===----------------------------------------------------------------------===//
+
+/// Flattens a ChecksDb into (edge, sub-index) → (kind, verdict) for exact
+/// comparison between two verification passes.
+using FlatVerdicts =
+    std::map<std::pair<EdgeId, uint32_t>, std::pair<CheckKind, Verdict>>;
+
+FlatVerdicts flatten(const ChecksDb &Db) {
+  FlatVerdicts Out;
+  for (Loc L : Db.locations())
+    for (const CheckResult &R : Db.at(L))
+      Out[{R.Edge, R.SubIndex}] = {R.Kind, R.V};
+  return Out;
+}
+
+uint64_t countFlatMismatches(const FlatVerdicts &FA, const FlatVerdicts &FB) {
+  uint64_t Bad = 0;
+  for (const auto &[K, V] : FA) {
+    auto It = FB.find(K);
+    if (It == FB.end() || It->second != V)
+      ++Bad;
+  }
+  for (const auto &[K, V] : FB) {
+    (void)V;
+    if (!FA.count(K))
+      ++Bad;
+  }
+  return Bad;
+}
+
+uint64_t countMismatches(const ChecksDb &A, const ChecksDb &B) {
+  return countFlatMismatches(flatten(A), flatten(B));
+}
 
 //===----------------------------------------------------------------------===//
 // Phase 1: corpus batch throughput
@@ -153,35 +204,95 @@ CorpusResult runCorpus(const Options &Opt) {
 }
 
 //===----------------------------------------------------------------------===//
-// Phase 2: incremental re-checking sweep
+// Phase 1b: parallel corpus throughput (--threads)
 //===----------------------------------------------------------------------===//
 
-/// Flattens a ChecksDb into (edge, sub-index) → (kind, verdict) for exact
-/// comparison between the incremental and batch passes.
-std::map<std::pair<EdgeId, uint32_t>, std::pair<CheckKind, Verdict>>
-flatten(const ChecksDb &Db) {
-  std::map<std::pair<EdgeId, uint32_t>, std::pair<CheckKind, Verdict>> Out;
-  for (Loc L : Db.locations())
-    for (const CheckResult &R : Db.at(L))
-      Out[{R.Edge, R.SubIndex}] = {R.Kind, R.V};
+/// Lowers, analyzes, and verifies corpus program \p I with entirely private
+/// state (engine, Statistics, ChecksDb) — the unit of parallel work.
+/// Returns the flattened verdict set (empty on lowering failure, which the
+/// serial phase already reported).
+FlatVerdicts verifyOneProgram(int I) {
+  const auto &Prog = corpus::ArrayPrograms[I];
+  LowerResult LR = frontend(Prog.Source);
+  if (!LR.ok())
+    return {};
+  InterprocEngine<IntervalDomain> Engine(std::move(LR.Prog), "main", /*K=*/2);
+  if (!Engine.valid())
+    return {};
+  Engine.analyzeAllFromMain();
+  std::map<SymbolId, std::vector<Obligation>> ObsByFn;
+  for (const auto &[FnName, F] : Engine.program().Functions)
+    ObsByFn[internSymbol(FnName)] = collectObligations(F.Body, kCorpusMask);
+  ChecksDb Db;
+  Statistics Stats;
+  Engine.forEachInstance([&](const auto &Key, Daig<IntervalDomain> &G) {
+    const auto &Obs = ObsByFn[Key.Fn];
+    if (Obs.empty())
+      return;
+    runChecks<IntervalDomain>(
+        Obs, [&](Loc L) { return G.queryLocation(L); },
+        [&](Loc L) { return G.locationDegraded(L); }, Db, &Stats);
+  });
+  return flatten(Db);
+}
+
+struct ParallelResult {
+  unsigned Threads = 0;
+  double WallMs = 0;
+  double ProgramsPerSec = 0;
+  double Speedup = 1.0; ///< vs. the threads=1 row of this same phase.
+  uint64_t Mismatches = 0; ///< Parallel verdicts differing from serial.
+};
+
+/// The parallel corpus phase: Rounds × NumArrayPrograms independent
+/// verification tasks on a work-stealing pool per thread count, every
+/// task's verdict set cross-checked against the serial reference. The
+/// serial reference runs FIRST, so the measured runs see a fully interned
+/// name/symbol vocabulary.
+std::vector<ParallelResult> runParallelCorpus(const Options &Opt) {
+  std::vector<FlatVerdicts> Ref(corpus::NumArrayPrograms);
+  for (int I = 0; I < corpus::NumArrayPrograms; ++I)
+    Ref[I] = verifyOneProgram(I);
+
+  std::vector<ParallelResult> Out;
+  double BaseMs = 0;
+  for (unsigned T : Opt.Threads) {
+    TaskPool Pool(T);
+    std::atomic<uint64_t> Mismatches{0};
+    std::vector<TaskPool::Task> Tasks;
+    Tasks.reserve(static_cast<size_t>(Opt.ParallelRounds) *
+                  corpus::NumArrayPrograms);
+    for (unsigned R = 0; R < Opt.ParallelRounds; ++R)
+      for (int I = 0; I < corpus::NumArrayPrograms; ++I)
+        Tasks.push_back([I, &Ref, &Mismatches] {
+          uint64_t Bad = countFlatMismatches(verifyOneProgram(I), Ref[I]);
+          if (Bad)
+            Mismatches.fetch_add(Bad, std::memory_order_relaxed);
+        });
+    size_t NumTasks = Tasks.size();
+    Clock::time_point T0 = Clock::now();
+    Pool.run(std::move(Tasks));
+    double Ms = msSince(T0);
+
+    ParallelResult P;
+    P.Threads = T;
+    P.WallMs = Ms;
+    P.ProgramsPerSec =
+        Ms > 0 ? 1000.0 * static_cast<double>(NumTasks) / Ms : 0.0;
+    P.Mismatches = Mismatches.load();
+    // Speedup is relative to this phase's threads=1 row (or the first row
+    // when 1 is not in the list).
+    if (BaseMs == 0 || T == 1)
+      BaseMs = Ms;
+    P.Speedup = P.WallMs > 0 ? BaseMs / P.WallMs : 0.0;
+    Out.push_back(P);
+  }
   return Out;
 }
 
-uint64_t countMismatches(const ChecksDb &A, const ChecksDb &B) {
-  auto FA = flatten(A), FB = flatten(B);
-  uint64_t Bad = 0;
-  for (const auto &[K, V] : FA) {
-    auto It = FB.find(K);
-    if (It == FB.end() || It->second != V)
-      ++Bad;
-  }
-  for (const auto &[K, V] : FB) {
-    (void)V;
-    if (!FA.count(K))
-      ++Bad;
-  }
-  return Bad;
-}
+//===----------------------------------------------------------------------===//
+// Phase 2: incremental re-checking sweep
+//===----------------------------------------------------------------------===//
 
 struct SweepResult {
   unsigned Vars = 0;
@@ -269,6 +380,7 @@ SweepResult runSweep(const Options &Opt, unsigned Vars) {
 //===----------------------------------------------------------------------===//
 
 void writeJson(const Options &Opt, const CorpusResult &C,
+               const std::vector<ParallelResult> &Parallel,
                const std::vector<SweepResult> &Sweeps) {
   std::ofstream OS(Opt.JsonPath);
   if (!OS) {
@@ -288,6 +400,19 @@ void writeJson(const Options &Opt, const CorpusResult &C,
      << ", \"warning\": " << C.Counts.Warning
      << ", \"error\": " << C.Counts.Error
      << ", \"unreachable\": " << C.Counts.Unreachable << "},\n";
+  OS << "  \"hardware_threads\": " << TaskPool::hardwareParallelism()
+     << ",\n";
+  OS << "  \"parallel\": [\n";
+  for (size_t I = 0; I < Parallel.size(); ++I) {
+    const ParallelResult &P = Parallel[I];
+    OS << "    {\"phase\": \"corpus\", \"threads\": " << P.Threads
+       << ", \"wall_ms\": " << P.WallMs
+       << ", \"programs_per_sec\": " << P.ProgramsPerSec
+       << ", \"speedup\": " << P.Speedup
+       << ", \"parallel_result_mismatches\": " << P.Mismatches << "}"
+       << (I + 1 < Parallel.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n";
   OS << "  \"sizes\": [\n";
   for (size_t I = 0; I < Sweeps.size(); ++I) {
     const SweepResult &S = Sweeps[I];
@@ -309,7 +434,8 @@ void writeJson(const Options &Opt, const CorpusResult &C,
 void usage(const char *Argv0) {
   std::printf(
       "usage: %s [--edits N] [--seed S] [--repeats N] [--pct-assert N]\n"
-      "          [--sizes N,N,...] [--json PATH] [--no-json]\n",
+      "          [--sizes N,N,...] [--threads N,N,...] [--rounds N]\n"
+      "          [--json PATH] [--no-json]\n",
       Argv0);
 }
 
@@ -346,6 +472,20 @@ int main(int Argc, char **Argv) {
         Opt.SweepSizes.push_back(static_cast<unsigned>(V));
         S = (*End == ',') ? End + 1 : End;
       }
+    } else if (!std::strcmp(Argv[I], "--threads")) {
+      Opt.Threads.clear();
+      const char *S = next("--threads");
+      while (*S) {
+        char *End = nullptr;
+        unsigned long V = std::strtoul(S, &End, 10);
+        if (End == S)
+          break;
+        Opt.Threads.push_back(static_cast<unsigned>(V));
+        S = (*End == ',') ? End + 1 : End;
+      }
+    } else if (!std::strcmp(Argv[I], "--rounds")) {
+      Opt.ParallelRounds = static_cast<unsigned>(
+          std::strtoul(next("--rounds"), nullptr, 10));
     } else if (!std::strcmp(Argv[I], "--json")) {
       Opt.JsonPath = next("--json");
     } else if (!std::strcmp(Argv[I], "--no-json")) {
@@ -375,6 +515,29 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(C.Counts.Warning),
               static_cast<unsigned long long>(C.Counts.Error),
               static_cast<unsigned long long>(C.Counts.Unreachable));
+
+  // Phase 1b: parallel corpus throughput. Each (program, round) is one
+  // independent task on a work-stealing pool; verdicts are cross-checked
+  // against the serial reference per task — mismatches fail the bench.
+  std::vector<ParallelResult> Parallel = runParallelCorpus(Opt);
+  std::printf("\n## parallel corpus verification (%u rounds x %u programs, "
+              "hardware threads: %u)\n",
+              Opt.ParallelRounds, C.Programs, TaskPool::hardwareParallelism());
+  std::printf("%8s %10s %14s %9s %10s\n", "threads", "wall_ms",
+              "programs/sec", "speedup", "mismatch");
+  bool ParallelOk = true;
+  for (const ParallelResult &P : Parallel) {
+    std::printf("%8u %10.1f %14.1f %8.2fx %10llu\n", P.Threads, P.WallMs,
+                P.ProgramsPerSec, P.Speedup,
+                static_cast<unsigned long long>(P.Mismatches));
+    if (P.Mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu serial-vs-parallel verdict mismatches at "
+                   "%u threads\n",
+                   static_cast<unsigned long long>(P.Mismatches), P.Threads);
+      ParallelOk = false;
+    }
+  }
 
   // Phase 2: incremental re-checking.
   std::printf("\n## incremental re-check sweep (%u edits, seed %llu, "
@@ -414,6 +577,6 @@ int main(int Argc, char **Argv) {
   }
 
   if (Opt.WriteJson)
-    writeJson(Opt, C, Sweeps);
-  return Ok ? 0 : 1;
+    writeJson(Opt, C, Parallel, Sweeps);
+  return (Ok && ParallelOk) ? 0 : 1;
 }

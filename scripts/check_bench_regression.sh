@@ -30,6 +30,12 @@
 #     the fresh verify JSON (incremental and batch verdicts must be
 #     bit-identical after every edit).
 #
+# Parallel cross-check (benches run with --threads): any non-zero
+# parallel_result_mismatches in a FRESH json is a baseline-independent
+# hard-fail — parallel analysis must be bit-identical to serial. A json
+# without threads rows gets a named SKIP (bench ran without --threads, or
+# a pre-parallel baseline); speedup is wall-clock and never gated.
+#
 # Plain POSIX sh + awk so it runs in any CI image; the JSON it parses is
 # the fixed shape bench_fig10_octagon_workload emits (one sizes-entry per
 # line, octagon entries carrying "dbm_cells_touched", zone entries
@@ -225,6 +231,38 @@ for BFIELD in zone_budget_exhaustions zone_degraded_cells \
   fi
 done
 echo "fig10 gate [budget]: un-budgeted run shows zero budget exhaustions / degraded cells / honored cancellations"
+
+# parallel_gate LABEL FRESH_FILE BASELINE_FILE — the serial-vs-parallel
+# cross-check: mismatches in the FRESH json fail regardless of the
+# baseline; files without threads rows get a named SKIP (the baseline one
+# is informational — speedup is wall-clock and never compared).
+parallel_gate() {
+  PLABEL=$1
+  PFRESH=$2
+  PBASE=$3
+  if ! grep -q '"threads":' "$PFRESH" 2>/dev/null; then
+    echo "SKIP [parallel-$PLABEL]: fresh $PFRESH carries no threads/parallel rows (bench ran without --threads or predates the parallel phase)"
+    return 0
+  fi
+  if [ -r "$PBASE" ] && ! grep -q '"threads":' "$PBASE" 2>/dev/null; then
+    echo "SKIP [parallel-$PLABEL]: baseline $PBASE predates the parallel fields — threads/speedup not compared (the mismatch check below is baseline-independent)"
+  fi
+  PMIS=$(sum_fresh_field parallel_result_mismatches "$PFRESH")
+  if ! is_num "$PMIS"; then
+    echo "FAIL [parallel-$PLABEL]: malformed parallel_result_mismatches field in $PFRESH" >&2
+    return 1
+  fi
+  if [ "$PMIS" -gt 0 ]; then
+    echo "FAIL [parallel-$PLABEL]: $PMIS serial-vs-parallel result mismatches (parallel analysis must be bit-identical to serial)" >&2
+    return 1
+  fi
+  echo "parallel gate [$PLABEL]: 0 serial-vs-parallel result mismatches"
+}
+
+parallel_gate fig10 "$FRESH" "$BASELINE" || STATUS=1
+if [ -n "$VERIFY_FRESH" ] && [ -r "$VERIFY_FRESH" ]; then
+  parallel_gate checker "$VERIFY_FRESH" "$VERIFY_BASELINE" || STATUS=1
+fi
 
 # Checker bench gate (optional args 4/5): the incremental re-check slice
 # size is deterministic like the closure counters, so it gets the same

@@ -156,6 +156,57 @@ run_case checker-malformed-mismatches 1 \
   'FAIL \[checker\]: malformed verdict_mismatches' \
   "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_garbage.json"
 
+# A fresh fig10 result set carrying the parallel cross-check rows the
+# --threads axis emits (the sizes rows plus per-thread-count rows keyed on
+# "threads" rather than "vars", so the per-size gates never read them).
+{
+  good_json
+  cat <<'EOF'
+{"phase": "batch_reanalysis", "domain": "octagon", "threads": 1, "instances": 4, "wall_ms": 0.5, "speedup": 1.0, "parallel_result_mismatches": 0}
+{"phase": "batch_reanalysis", "domain": "octagon", "threads": 4, "instances": 4, "wall_ms": 0.9, "speedup": 0.55, "parallel_result_mismatches": 0}
+EOF
+} > "$TMP/fresh_parallel.json"
+
+# 17. Fresh json without threads rows (bench ran without --threads): named
+# per-bench SKIP, still exit 0.
+run_case parallel-skip-no-rows 0 'SKIP \[parallel-fig10\]: fresh' \
+  "$TMP/base.json" "$TMP/fresh.json"
+
+# 18. Fresh carries parallel rows but the committed baseline predates them:
+# baseline SKIP note plus the baseline-independent mismatch check passing.
+run_case parallel-pre-parallel-baseline 0 \
+  'parallel gate \[fig10\]: 0 serial-vs-parallel' \
+  "$TMP/base.json" "$TMP/fresh_parallel.json"
+run_case parallel-baseline-skip-note 0 \
+  'SKIP \[parallel-fig10\]: baseline' \
+  "$TMP/base.json" "$TMP/fresh_parallel.json"
+
+# 19. Serial-vs-parallel result mismatches in the fresh run: named FAIL
+# regardless of the baseline.
+sed 's/"speedup": 0.55, "parallel_result_mismatches": 0/"speedup": 0.55, "parallel_result_mismatches": 5/' \
+  "$TMP/fresh_parallel.json" > "$TMP/fresh_parallel_mismatch.json"
+run_case parallel-mismatch 1 \
+  'FAIL \[parallel-fig10\]: 5 serial-vs-parallel result mismatches' \
+  "$TMP/base.json" "$TMP/fresh_parallel_mismatch.json"
+
+# 20. Malformed parallel_result_mismatches field: named FAIL, not an awk
+# error.
+sed 's/"parallel_result_mismatches": 0/"parallel_result_mismatches": "??"/' \
+  "$TMP/fresh_parallel.json" > "$TMP/fresh_parallel_garbage.json"
+run_case parallel-malformed 1 \
+  'FAIL \[parallel-fig10\]: malformed parallel_result_mismatches' \
+  "$TMP/base.json" "$TMP/fresh_parallel_garbage.json"
+
+# 21. The verify json gets the same cross-check: mismatches in its parallel
+# corpus rows are a named FAIL even when every other checker gate passes.
+{
+  verify_json
+  echo '{"phase": "corpus", "threads": 2, "wall_ms": 30.0, "programs_per_sec": 7000.0, "speedup": 0.9, "parallel_result_mismatches": 2}'
+} > "$TMP/vfresh_parallel_mismatch.json"
+run_case parallel-checker-mismatch 1 \
+  'FAIL \[parallel-checker\]: 2 serial-vs-parallel result mismatches' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_parallel_mismatch.json"
+
 if [ "$FAILURES" -gt 0 ]; then
   echo "check_bench_regression_selftest: $FAILURES case(s) failed" >&2
   exit 1

@@ -37,51 +37,99 @@ uint64_t leafHash(Name::Kind K, uint64_t A) {
 // NameTable
 //===----------------------------------------------------------------------===//
 
-void NameTable::growSlots() {
-  size_t NewCap = Slots.empty() ? 4096 : Slots.size() * 2;
-  Slots.assign(NewCap, {0, kNoName});
-  SlotMask = NewCap - 1;
-  for (NameId Id = 0; Id < Nodes.size(); ++Id) {
-    size_t Idx = Nodes[Id].Hash & SlotMask;
-    while (Slots[Idx].second != kNoName)
-      Idx = (Idx + 1) & SlotMask;
-    Slots[Idx] = {Nodes[Id].Hash, Id};
+NameTable::NameTable()
+    : Chunks(new std::atomic<Node *>[kMaxChunks]()) {}
+
+NameTable::~NameTable() {
+  for (size_t I = 0; I < kMaxChunks; ++I)
+    delete[] Chunks[I].load(std::memory_order_acquire);
+}
+
+void NameTable::growShard(Shard &S) {
+  size_t NewCap = S.Slots.empty() ? 512 : S.Slots.size() * 2;
+  std::vector<std::pair<uint64_t, NameId>> Old = std::move(S.Slots);
+  S.Slots.assign(NewCap, {0, kNoName});
+  S.SlotMask = NewCap - 1;
+  SlotBytes.fetch_add((NewCap - Old.size()) * sizeof(S.Slots[0]),
+                      std::memory_order_relaxed);
+  for (const auto &[H, Id] : Old) {
+    if (Id == kNoName)
+      continue;
+    size_t Idx = H & S.SlotMask;
+    while (S.Slots[Idx].second != kNoName)
+      Idx = (Idx + 1) & S.SlotMask;
+    S.Slots[Idx] = {H, Id};
   }
+}
+
+NameTable::Node *NameTable::chunkFor(NameId Id) {
+  size_t CI = Id >> kChunkShift;
+  assert(CI < kMaxChunks && "name table overflow");
+  std::atomic<Node *> &Slot = Chunks[CI];
+  Node *P = Slot.load(std::memory_order_acquire);
+  if (P)
+    return P;
+  Node *Fresh = new Node[kChunkSize];
+  Node *Expected = nullptr;
+  if (Slot.compare_exchange_strong(Expected, Fresh,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    ChunkCount.fetch_add(1, std::memory_order_relaxed);
+    return Fresh;
+  }
+  // Another thread published this chunk first; use theirs.
+  delete[] Fresh;
+  return Expected;
 }
 
 NameId NameTable::intern(Name::Kind K, uint64_t A, NameId L, NameId R,
                          uint64_t Hash) {
-  NameTableCounters &C = nameTableCounters();
-  if (Slots.empty())
-    growSlots();
+  AtomicNameTableCounters &C = nameTableCountersAtomic();
   // The structural hash doubles as the probe hash: it is a deterministic
   // function of (K, A, L, R) because the children are themselves interned.
-  // Equal tuples always land in the same probe chain; hash collisions
-  // between distinct tuples are resolved by the field compare.
-  size_t Idx = Hash & SlotMask;
+  // Equal tuples always land in the same shard and probe chain; hash
+  // collisions between distinct tuples are resolved by the field compare.
+  Shard &S = Shards[(Hash >> 60) & (kNumShards - 1)];
+  std::lock_guard<std::mutex> G(S.M);
+  if (S.Slots.empty())
+    growShard(S);
+  size_t Idx = Hash & S.SlotMask;
   for (;;) {
-    const auto &[SlotHash, SlotId] = Slots[Idx];
+    const auto &[SlotHash, SlotId] = S.Slots[Idx];
     if (SlotId == kNoName)
       break;
     if (SlotHash == Hash) {
-      const Node &N = Nodes[SlotId];
+      const Node &N = node(SlotId);
       if (N.K == K && N.A == A && N.L == L && N.R == R) {
-        ++C.InternHits;
+        C.InternHits.fetch_add(1, std::memory_order_relaxed);
         return SlotId;
       }
     }
-    Idx = (Idx + 1) & SlotMask;
+    Idx = (Idx + 1) & S.SlotMask;
   }
-  assert(Nodes.size() < kNoName && "name table overflow");
-  NameId Id = static_cast<NameId>(Nodes.size());
-  Nodes.push_back(Node{K, A, L, R, Hash});
-  Slots[Idx] = {Hash, Id};
-  ++C.NamesInterned;
-  if ((Nodes.size() + 1) * 10 > Slots.size() * 7)
-    growSlots();
-  // Footprint gauge: the slab plus the dedup slot array.
-  C.NameTableBytes = Nodes.capacity() * sizeof(Node) +
-                     Slots.size() * sizeof(Slots[0]);
+  // Miss: draw a fresh dense id from the global counter and write the node
+  // into its (never-relocating) chunk slot. The id becomes visible to other
+  // threads only through synchronizing channels — this shard's slot array
+  // (below, under S.M), the returned value, or a cross-thread handoff —
+  // each of which orders the field writes before any node() read.
+  NameId Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  assert(Id < kNoName && "name table overflow");
+  Node &N = chunkFor(Id)[Id & kChunkMask];
+  N.K = K;
+  N.A = A;
+  N.L = L;
+  N.R = R;
+  N.Hash = Hash;
+  S.Slots[Idx] = {Hash, Id};
+  ++S.Count;
+  C.NamesInterned.fetch_add(1, std::memory_order_relaxed);
+  if ((S.Count + 1) * 10 > S.Slots.size() * 7)
+    growShard(S);
+  // Footprint gauge: allocated chunks plus the dedup slot arrays.
+  C.NameTableBytes.store(ChunkCount.load(std::memory_order_relaxed) *
+                                 kChunkSize * sizeof(Node) +
+                             SlotBytes.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   return Id;
 }
 

@@ -23,7 +23,7 @@
 /// trivially-copyable id wrapper (the 32-bit NameId plus the precomputed
 /// structural hash carried inline, so the equality/hash hot path of every
 /// DAIG map probe touches no table memory at all). Equality is an integer
-/// compare and nodes live in slab storage (a contiguous vector of plain
+/// compare and nodes live in slab storage (fixed-size chunks of plain
 /// structs — no shared_ptr, no per-node refcounting, no per-name heap
 /// allocation after first intern).
 ///
@@ -31,13 +31,21 @@
 ///  - The table is a process-global singleton with process lifetime; interned
 ///    nodes are never freed or reused, so a NameId (and hence a Name) stays
 ///    valid forever once created. Ids are dense in first-intern order.
-///  - Like SymbolTable (domain/symbol.h), the table is single-threaded by
-///    design: one analysis engine per thread with no cross-thread name
-///    construction. Concurrent intern() calls are a data race.
+///  - Like SymbolTable (domain/symbol.h), the table accepts CONCURRENT
+///    interning: the dedup index is sharded by structural hash (per-shard
+///    mutex + open addressing), ids come from one global atomic counter
+///    (keeping them dense), and nodes live in fixed-size chunks published
+///    via CAS so a chunk pointer never relocates — node() reads are
+///    lock-free. A thread that legitimately holds a NameId (returned from
+///    its own intern(), read from a shard under the shard lock, or received
+///    through any synchronizing channel such as a TaskPool batch barrier)
+///    observes the node fully written, transitively through those
+///    happens-before edges.
 ///  - The table only grows, bounded by the set of structurally distinct
 ///    names an analysis constructs (program shape × loop unrolling depth ×
 ///    distinct value hashes); intern statistics are exposed through
-///    nameTableCounters() in support/statistics.h.
+///    nameTableCounters() in support/statistics.h (an atomic sink, so
+///    worker-thread interning is counted).
 ///
 /// Name equality, the hash/structural total order, and toString are
 /// bit-identical to the structural tree semantics they replace (the
@@ -51,7 +59,11 @@
 
 #include "cfg/cfg.h"
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -148,6 +160,18 @@ public:
     uint64_t Hash = 0; ///< Precomputed structural hash.
   };
 
+  /// Slab geometry: nodes live in fixed 64Ki-node chunks that are CAS-
+  /// published once and never relocated, so node() needs no lock even while
+  /// other threads intern. 2^14 chunk pointers bound the table at 2^30
+  /// names (the dense-id space is 32-bit anyway).
+  static constexpr unsigned kChunkShift = 16;
+  static constexpr size_t kChunkSize = size_t(1) << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t(1) << 14;
+  /// Dedup-index shards, selected by the high bits of the structural hash
+  /// (the low bits drive the in-shard probe sequence).
+  static constexpr unsigned kNumShards = 16;
+
   static NameTable &global() {
     static NameTable Table;
     return Table;
@@ -155,33 +179,57 @@ public:
 
   /// Canonicalizes (K, A, L, R): returns the existing id when the node was
   /// seen before, otherwise appends a node with structural hash \p Hash.
+  /// Safe to call concurrently; equal tuples hash equal, land in the same
+  /// shard, and serialize on its mutex, so each distinct tuple gets exactly
+  /// one id.
   NameId intern(Name::Kind K, uint64_t A, NameId L, NameId R, uint64_t Hash);
 
   /// Slab access; \p Id must be a valid id obtained from intern().
-  const Node &node(NameId Id) const { return Nodes[Id]; }
+  /// Lock-free: the chunk pointer is an acquire load and chunks never move.
+  const Node &node(NameId Id) const {
+    return Chunks[Id >> kChunkShift].load(std::memory_order_acquire)
+        [Id & kChunkMask];
+  }
 
-  /// Number of distinct names interned so far.
-  size_t size() const { return Nodes.size(); }
+  /// Number of distinct names interned so far (monotone; under concurrent
+  /// interning this counts ids HANDED OUT, some of which may still be
+  /// mid-publication in another thread — use it as a count, not as an
+  /// iteration bound).
+  size_t size() const { return NextId.load(std::memory_order_acquire); }
 
 private:
-  NameTable() = default;
+  NameTable();
+  ~NameTable();
 
-  void growSlots();
+  /// One dedup-index shard: open-addressing (linear probing) over
+  /// (structural hash, id) pairs, power-of-two capacity, ≤ 70% load.
+  /// Interning sits on the hot path of every query/edit, and a node-based
+  /// unordered_map pays two dependent cache misses plus a heap allocation
+  /// per unique name where this flat table pays one line per probe and
+  /// none — measured as the difference between the interned name layer
+  /// beating the shared_ptr trees and losing to them. kNoName marks an
+  /// empty slot. Sharding by hash keeps concurrent interning of unrelated
+  /// names uncontended while serializing equal tuples.
+  struct Shard {
+    std::mutex M;
+    std::vector<std::pair<uint64_t, NameId>> Slots;
+    size_t SlotMask = 0;
+    size_t Count = 0; ///< Occupied slots (drives the load-factor rehash).
+  };
 
-  /// Slab storage: contiguous, indexed by NameId. Growth may relocate the
-  /// buffer, which is safe because no caller retains a Node reference
-  /// across an intern() (node() references are read-and-drop).
-  std::vector<Node> Nodes;
+  /// Rehash \p S to the next capacity; caller holds S.M.
+  void growShard(Shard &S);
+  /// Returns the chunk holding \p Id, allocating and CAS-publishing it on
+  /// first use (the losing allocator frees its copy).
+  Node *chunkFor(NameId Id);
 
-  /// Dedup index: open-addressing (linear probing) over (structural hash,
-  /// id) pairs, power-of-two capacity, ≤ 70% load. Interning sits on the
-  /// hot path of every query/edit, and a node-based unordered_map pays two
-  /// dependent cache misses plus a heap allocation per unique name where
-  /// this flat table pays one line per probe and none — measured as the
-  /// difference between the interned name layer beating the shared_ptr
-  /// trees and losing to them. kNoName marks an empty slot.
-  std::vector<std::pair<uint64_t, NameId>> Slots;
-  size_t SlotMask = 0;
+  /// Segmented slab storage, indexed by NameId via (chunk, offset).
+  std::unique_ptr<std::atomic<Node *>[]> Chunks;
+  std::atomic<uint32_t> NextId{0};
+  std::array<Shard, kNumShards> Shards;
+  /// Footprint bookkeeping for the NameTableBytes gauge.
+  std::atomic<uint64_t> ChunkCount{0};
+  std::atomic<uint64_t> SlotBytes{0};
 };
 
 struct NameHash {

@@ -16,6 +16,8 @@
 #ifndef DAI_SUPPORT_STATISTICS_H
 #define DAI_SUPPORT_STATISTICS_H
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 
@@ -49,6 +51,30 @@ struct Statistics {
 
   /// Total domain operations (the expensive work in rich domains).
   uint64_t domainOps() const { return Transfers + Joins + Widens; }
+
+  /// Accumulates another counter set into this one (all fields are monotone
+  /// counters, so addition is the correct merge). This is the cross-thread
+  /// aggregation primitive: the parallel engine gives each (function,
+  /// context) instance a private Statistics sink for the duration of a
+  /// parallel pass and folds them back into the engine's sink, in
+  /// deterministic key order, at the pass barrier.
+  void mergeFrom(const Statistics &O) {
+    Transfers += O.Transfers;
+    Joins += O.Joins;
+    Widens += O.Widens;
+    FixChecks += O.FixChecks;
+    Unrollings += O.Unrollings;
+    CellReuses += O.CellReuses;
+    MemoHits += O.MemoHits;
+    MemoMisses += O.MemoMisses;
+    CellsDirtied += O.CellsDirtied;
+    CallSummaries += O.CallSummaries;
+    MemoEvictions += O.MemoEvictions;
+    CellsDegraded += O.CellsDegraded;
+    ChecksEvaluated += O.ChecksEvaluated;
+    ChecksRechecked += O.ChecksRechecked;
+    AlarmsRaised += O.AlarmsRaised;
+  }
 
   Statistics operator-(const Statistics &O) const {
     Statistics R;
@@ -106,6 +132,18 @@ struct ClosureCounters {
                                   ///< allocation (gauge, not a counter).
 
   void reset() { *this = ClosureCounters(); }
+
+  /// Cross-thread merge: counters add; the PeakDbmBytes gauge merges via
+  /// max (the process-wide peak is the max of the per-thread peaks).
+  void mergeFrom(const ClosureCounters &O) {
+    FullCloses += O.FullCloses;
+    IncrementalCloses += O.IncrementalCloses;
+    ClosesSkipped += O.ClosesSkipped;
+    CachedCloses += O.CachedCloses;
+    CellsTouched += O.CellsTouched;
+    CellsStored += O.CellsStored;
+    PeakDbmBytes = std::max(PeakDbmBytes, O.PeakDbmBytes);
+  }
 
   ClosureCounters operator-(const ClosureCounters &O) const {
     ClosureCounters R;
@@ -174,6 +212,20 @@ struct ZoneCounters {
 
   void reset() { *this = ZoneCounters(); }
 
+  /// Cross-thread merge: all fields are monotone counters, so they add.
+  void mergeFrom(const ZoneCounters &O) {
+    EdgesStored += O.EdgesStored;
+    PotentialRepairs += O.PotentialRepairs;
+    ClosureVerticesVisited += O.ClosureVerticesVisited;
+    FullCloses += O.FullCloses;
+    IncrementalCloses += O.IncrementalCloses;
+    ClosesSkipped += O.ClosesSkipped;
+    CachedCloses += O.CachedCloses;
+    BudgetExhaustions += O.BudgetExhaustions;
+    DegradedCells += O.DegradedCells;
+    CancellationsHonored += O.CancellationsHonored;
+  }
+
   ZoneCounters operator-(const ZoneCounters &O) const {
     ZoneCounters R;
     R.EdgesStored = EdgesStored - O.EdgesStored;
@@ -239,6 +291,18 @@ struct StagedCounters {
 
   void reset() { *this = StagedCounters(); }
 
+  /// Cross-thread merge: all fields are monotone counters, so they add.
+  void mergeFrom(const StagedCounters &O) {
+    Escalations += O.Escalations;
+    OctSeeds += O.OctSeeds;
+    EscalatedTransfers += O.EscalatedTransfers;
+    ZoneTransfers += O.ZoneTransfers;
+    SumQueries += O.SumQueries;
+    BudgetExhaustions += O.BudgetExhaustions;
+    DegradedCells += O.DegradedCells;
+    CancellationsHonored += O.CancellationsHonored;
+  }
+
   StagedCounters operator-(const StagedCounters &O) const {
     StagedCounters R;
     R.Escalations = Escalations - O.Escalations;
@@ -278,7 +342,10 @@ inline StagedCounters &stagedCounters() {
 /// shared_ptr trees paid a heap allocation plus refcount traffic per node.
 ///
 /// Process-global (not thread_local) because the NameTable itself is a
-/// process-global singleton; like it, single-threaded by design.
+/// process-global singleton. Since the table accepts concurrent interning,
+/// the live sink is a set of relaxed atomics (nameTableCountersAtomic());
+/// this struct is the plain snapshot handed to callers by
+/// nameTableCounters(), preserving the snapshot-and-subtract idiom.
 struct NameTableCounters {
   uint64_t NamesInterned = 0; ///< Distinct names created (table growth).
   uint64_t InternHits = 0;    ///< Constructions answered by an existing node.
@@ -303,11 +370,84 @@ inline std::ostream &operator<<(std::ostream &OS, const NameTableCounters &C) {
   return OS;
 }
 
-/// The process's name-table counter sink (see NameTableCounters).
-inline NameTableCounters &nameTableCounters() {
-  static NameTableCounters Counters;
+/// The live, concurrently-updated name-table counter sink. All updates use
+/// relaxed ordering: these are monotone statistics, not synchronization.
+struct AtomicNameTableCounters {
+  std::atomic<uint64_t> NamesInterned{0};
+  std::atomic<uint64_t> InternHits{0};
+  std::atomic<uint64_t> NameTableBytes{0}; ///< Gauge; stored, not added.
+
+  void reset() {
+    NamesInterned.store(0, std::memory_order_relaxed);
+    InternHits.store(0, std::memory_order_relaxed);
+    NameTableBytes.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process's name-table counter sink (see AtomicNameTableCounters).
+inline AtomicNameTableCounters &nameTableCountersAtomic() {
+  static AtomicNameTableCounters Counters;
   return Counters;
 }
+
+/// A point-in-time snapshot of the process-global name-table counters.
+/// Unlike the thread_local sinks this returns BY VALUE: the live sink is
+/// atomic (concurrent interning), and callers only ever want a consistent
+/// plain-struct copy to subtract against.
+inline NameTableCounters nameTableCounters() {
+  const AtomicNameTableCounters &A = nameTableCountersAtomic();
+  NameTableCounters S;
+  S.NamesInterned = A.NamesInterned.load(std::memory_order_relaxed);
+  S.InternHits = A.InternHits.load(std::memory_order_relaxed);
+  S.NameTableBytes = A.NameTableBytes.load(std::memory_order_relaxed);
+  return S;
+}
+
+/// A bundle of every thread_local counter sink, used to carry counter
+/// deltas across threads. The domain/closure sinks are thread_local by
+/// design (one analysis engine per thread); when a TaskPool worker runs
+/// analysis work, its deltas land in the WORKER's sinks and would be
+/// invisible to bench reporting on the main thread. The pool snapshots the
+/// worker sinks around each task and merges the deltas back into the
+/// calling thread's sinks, so "read the current thread's counters" stays
+/// correct whether or not work was farmed out.
+///
+/// NameTableCounters are deliberately absent: that sink is process-global
+/// and atomic (nameTableCountersAtomic()), so worker-thread interning is
+/// already counted without any merge step.
+struct ThreadCounters {
+  ClosureCounters Closure;
+  ZoneCounters Zone;
+  StagedCounters Staged;
+
+  /// Copies the calling thread's live sinks.
+  static ThreadCounters snapshot() {
+    return {closureCounters(), zoneCounters(), stagedCounters()};
+  }
+
+  /// The work performed since \p Base (both taken on the same thread).
+  /// Gauges follow the operator- convention: the delta carries this
+  /// snapshot's absolute gauge value.
+  ThreadCounters deltaSince(const ThreadCounters &Base) const {
+    return {Closure - Base.Closure, Zone - Base.Zone, Staged - Base.Staged};
+  }
+
+  /// Accumulates a delta into this bundle (counters add, gauges max).
+  void addDelta(const ThreadCounters &D) {
+    Closure.mergeFrom(D.Closure);
+    Zone.mergeFrom(D.Zone);
+    Staged.mergeFrom(D.Staged);
+  }
+
+  /// Folds this bundle into the calling thread's live sinks.
+  void mergeIntoCurrentThread() const {
+    closureCounters().mergeFrom(Closure);
+    zoneCounters().mergeFrom(Zone);
+    stagedCounters().mergeFrom(Staged);
+  }
+
+  void reset() { *this = ThreadCounters(); }
+};
 
 /// Records a DBM matrix allocation of \p Cells entries (fresh buffers and
 /// copy-on-write clones alike): bumps CellsStored and the PeakDbmBytes

@@ -1,0 +1,295 @@
+//===-- tests/parallel_engine_test.cpp - Parallel vs serial engine --------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel interprocedural engine's equivalence contract
+/// (InterprocEngine::setParallelism): over randomized Section 7.3 workloads
+/// and directed call-graph shapes, analyzeAllFromMain at threads ∈
+/// {1, 2, 4, 8} must produce bit-identical answers to the serial engine —
+/// the same instance set, D::equal states at every location of every
+/// instance, and identical checker verdicts — with a clean cross-DAIG
+/// invariant audit afterwards. threads=1 must additionally reproduce the
+/// serial engine's Statistics counters EXACTLY (it takes the serial code
+/// path by construction), and a fixed thread count must be deterministic:
+/// two runs over the same program report identical counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interproc/engine.h"
+
+#include "analysis/checker.h"
+#include "analysis/checks_db.h"
+#include "domain/constprop.h"
+#include "domain/interval.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dai;
+using namespace dai::test;
+
+namespace {
+
+using Engine = InterprocEngine<IntervalDomain>;
+using Key = Engine::InstanceKey;
+
+std::string statsString(const Statistics &S) {
+  std::ostringstream OS;
+  OS << S;
+  return OS.str();
+}
+
+/// Every (instance, location) state of a fully analyzed engine, keyed
+/// printably for failure messages.
+std::map<std::string, IntervalState> snapshotStates(Engine &E) {
+  std::map<std::string, IntervalState> Out;
+  E.forEachInstance([&](const Key &K, Daig<IntervalDomain> &G) {
+    const Cfg *C = E.cfgOf(K.Fn);
+    CfgInfo Info = analyzeCfg(*C);
+    for (Loc L : Info.Rpo)
+      Out.emplace(K.toString() + "@l" + std::to_string(L),
+                  G.queryLocation(L));
+  });
+  return Out;
+}
+
+void expectSameStates(const std::map<std::string, IntervalState> &Serial,
+                      const std::map<std::string, IntervalState> &Parallel,
+                      const std::string &What) {
+  ASSERT_EQ(Serial.size(), Parallel.size()) << What << ": instance/location "
+                                            << "set differs";
+  auto SIt = Serial.begin();
+  auto PIt = Parallel.begin();
+  for (; SIt != Serial.end(); ++SIt, ++PIt) {
+    ASSERT_EQ(SIt->first, PIt->first) << What;
+    EXPECT_TRUE(IntervalDomain::equal(SIt->second, PIt->second))
+        << What << " at " << SIt->first << "\n  serial:   "
+        << IntervalDomain::toString(SIt->second) << "\n  parallel: "
+        << IntervalDomain::toString(PIt->second);
+  }
+}
+
+/// Checker verdict tallies over every obligation of every instance.
+VerdictCounts verdictsOf(Engine &E) {
+  std::map<SymbolId, std::vector<Obligation>> ObsByFn;
+  for (const auto &[FnName, F] : E.program().Functions)
+    ObsByFn[internSymbol(FnName)] = collectObligations(F.Body, kAllChecks);
+  VerdictCounts Counts;
+  ChecksDb Db;
+  E.forEachInstance([&](const Key &K, Daig<IntervalDomain> &G) {
+    const auto &Obs = ObsByFn[K.Fn];
+    if (Obs.empty())
+      return;
+    Counts += runChecks<IntervalDomain>(
+        Obs, [&](Loc L) { return G.queryLocation(L); },
+        [&](Loc L) { return G.locationDegraded(L); }, Db,
+        &E.statistics());
+  });
+  return Counts;
+}
+
+Program makeWorkload(uint64_t Seed, unsigned Edits) {
+  WorkloadOptions Opts;
+  Opts.Seed = Seed;
+  Opts.PctCallStmt = 20; // call-heavy: more instances to parallelize over
+  Opts.PctAssertStmt = 10;
+  Opts.HelperCount = 5;
+  WorkloadGenerator Gen(Opts);
+  Program P = Gen.makeInitialProgram();
+  for (unsigned I = 0; I < Edits; ++I)
+    Gen.applyRandomEdit(P);
+  return P;
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEquivalence, BitIdenticalAnswersAcrossThreadCounts) {
+  Program P = makeWorkload(GetParam(), /*Edits=*/25);
+
+  // Serial oracle first — this also pre-interns every gensym/symbol the
+  // program can demand, making the later parallel counter runs
+  // schedule-independent.
+  Engine Serial(P, "main", /*K=*/1);
+  ASSERT_TRUE(Serial.valid()) << Serial.error();
+  size_t SerialInstances = Serial.analyzeAllFromMain();
+  auto SerialStates = snapshotStates(Serial);
+  VerdictCounts SerialVerdicts = verdictsOf(Serial);
+  EXPECT_EQ(Serial.auditInvariants(), "");
+
+  for (unsigned T : {1u, 2u, 4u, 8u}) {
+    Engine Par(P, "main", /*K=*/1);
+    ASSERT_TRUE(Par.valid()) << Par.error();
+    Par.setParallelism(T);
+    EXPECT_EQ(Par.parallelism(), T);
+    size_t ParInstances = Par.analyzeAllFromMain();
+    EXPECT_EQ(ParInstances, SerialInstances) << "threads=" << T;
+    auto ParStates = snapshotStates(Par);
+    expectSameStates(SerialStates, ParStates,
+                     "threads=" + std::to_string(T));
+    VerdictCounts ParVerdicts = verdictsOf(Par);
+    EXPECT_EQ(ParVerdicts.Safe, SerialVerdicts.Safe) << "threads=" << T;
+    EXPECT_EQ(ParVerdicts.Warning, SerialVerdicts.Warning)
+        << "threads=" << T;
+    EXPECT_EQ(ParVerdicts.Error, SerialVerdicts.Error) << "threads=" << T;
+    EXPECT_EQ(ParVerdicts.Unreachable, SerialVerdicts.Unreachable)
+        << "threads=" << T;
+    EXPECT_EQ(Par.auditInvariants(), "") << "threads=" << T;
+  }
+}
+
+TEST_P(ParallelEquivalence, ThreadsOneCountersBitIdenticalToSerial) {
+  Program P = makeWorkload(GetParam(), /*Edits=*/15);
+
+  Engine Serial(P, "main", /*K=*/1);
+  ASSERT_TRUE(Serial.valid()) << Serial.error();
+  Serial.analyzeAllFromMain();
+
+  // threads=1 dispatches to the serial path — EVERY counter must match,
+  // not just the answers (this is what keeps the CI gate baselines valid).
+  Engine One(P, "main", /*K=*/1);
+  ASSERT_TRUE(One.valid());
+  One.setParallelism(1);
+  One.analyzeAllFromMain();
+  EXPECT_EQ(statsString(One.statistics()), statsString(Serial.statistics()));
+}
+
+TEST_P(ParallelEquivalence, FixedThreadCountIsDeterministic) {
+  Program P = makeWorkload(GetParam(), /*Edits=*/15);
+
+  // Warm-up serial run pre-interns the vocabulary (see above), so the two
+  // measured parallel runs see identical intern-table state.
+  {
+    Engine Warm(P, "main", /*K=*/1);
+    ASSERT_TRUE(Warm.valid());
+    Warm.analyzeAllFromMain();
+  }
+
+  auto runOnce = [&P](unsigned T) {
+    Engine E(P, "main", /*K=*/1);
+    EXPECT_TRUE(E.valid());
+    E.setParallelism(T);
+    E.analyzeAllFromMain();
+    return statsString(E.statistics());
+  };
+  for (unsigned T : {2u, 4u}) {
+    std::string First = runOnce(T);
+    std::string Second = runOnce(T);
+    EXPECT_EQ(First, Second) << "threads=" << T
+                             << ": repeat run reported different counters";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalence,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+//===----------------------------------------------------------------------===//
+// Directed shapes: small programs whose exact answers are known, pushed
+// through the parallel path.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelEngine, DiamondCallGraphExactAnswer) {
+  // main → {f, g} → h: h's entry is the join of contributions discovered on
+  // two different worker tasks in the same pass.
+  Program P = mustLower(R"(
+    function h(x) { return x + 1; }
+    function f(x) { var a = h(x); return a + 10; }
+    function g(x) { var a = h(x); return a + 20; }
+    function main() {
+      var u = f(1);
+      var v = g(2);
+      return u + v;
+    }
+  )");
+  InterprocEngine<ConstPropDomain> E(std::move(P), "main", /*K=*/1);
+  ASSERT_TRUE(E.valid()) << E.error();
+  E.setParallelism(4);
+  E.analyzeAllFromMain();
+  // f(1) = h(1)+10 = 12; g(2) = h(2)+20 = 23; main returns 35. With K=1
+  // the two h contexts stay separate, so the constants survive.
+  ConstState Exit = E.queryMain(E.cfgOf("main")->exit());
+  EXPECT_EQ(Exit.get(RetVar), std::optional<int64_t>(35));
+  EXPECT_EQ(E.auditInvariants(), "");
+}
+
+TEST(ParallelEngine, DeepChainNeedsMultiplePasses) {
+  // A four-deep chain: each pass can only push summaries one level up the
+  // frozen-snapshot Jacobi scheme, so quiescence takes several passes.
+  Program P = mustLower(R"(
+    function d(x) { return x * 2; }
+    function c(x) { var a = d(x); return a + 1; }
+    function b(x) { var a = c(x); return a + 1; }
+    function a(x) { var r = b(x); return r + 1; }
+    function main() { var r = a(5); return r; }
+  )");
+  InterprocEngine<ConstPropDomain> Serial(P, "main", /*K=*/2);
+  ASSERT_TRUE(Serial.valid());
+  Serial.analyzeAllFromMain();
+  ConstState Want = Serial.queryMain(Serial.cfgOf("main")->exit());
+
+  InterprocEngine<ConstPropDomain> Par(std::move(P), "main", /*K=*/2);
+  ASSERT_TRUE(Par.valid());
+  Par.setParallelism(8);
+  size_t N = Par.analyzeAllFromMain();
+  EXPECT_EQ(N, 5u); // main, a, b, c, d
+  ConstState Got = Par.queryMain(Par.cfgOf("main")->exit());
+  EXPECT_TRUE(ConstPropDomain::equal(Got, Want));
+  EXPECT_EQ(Got.get(RetVar), std::optional<int64_t>(13)); // 5*2+1+1+1
+}
+
+TEST(ParallelEngine, QueriesAndEditsAfterParallelAnalysis) {
+  // The parallel batch must leave the engine in a state the serial
+  // demand/edit machinery can continue from.
+  Program P = makeWorkload(909u, /*Edits=*/10);
+  Engine E(P, "main", /*K=*/1);
+  ASSERT_TRUE(E.valid());
+  E.setParallelism(4);
+  E.analyzeAllFromMain();
+
+  Engine Oracle(P, "main", /*K=*/1);
+  ASSERT_TRUE(Oracle.valid());
+  const Cfg *MainCfg = E.cfgOf("main");
+  CfgInfo Info = analyzeCfg(*MainCfg);
+  for (Loc L : Info.Rpo)
+    EXPECT_TRUE(IntervalDomain::equal(E.queryMain(L), Oracle.queryMain(L)))
+        << "post-parallel demand query at l" << L;
+
+  // An edit after the parallel batch: the engine applies it, re-seeds, and
+  // must match a from-scratch engine on the edited program exactly (the
+  // stress suite's post-reseed guarantee, continued from a parallel batch).
+  WorkloadOptions Opts;
+  Opts.Seed = 909u ^ 0xA5;
+  WorkloadGenerator Gen(Opts);
+  Gen.applyRandomEdit(E.program());
+  E.applyStructuralEdit("main");
+  E.reseedAllEntries();
+  Engine Fresh(E.program(), "main", /*K=*/1);
+  ASSERT_TRUE(Fresh.valid());
+  CfgInfo EditedInfo = analyzeCfg(*E.cfgOf("main"));
+  for (Loc L : EditedInfo.Rpo)
+    EXPECT_TRUE(IntervalDomain::equal(E.queryMain(L), Fresh.queryMain(L)))
+        << "post-edit query at l" << L;
+  EXPECT_EQ(E.auditInvariants(), "");
+}
+
+TEST(ParallelEngine, SetParallelismZeroUsesHardware) {
+  Program P = mustLower(R"(
+    function main() { var x = 1; return x; }
+  )");
+  Engine E(std::move(P), "main", 0);
+  ASSERT_TRUE(E.valid());
+  E.setParallelism(0);
+  EXPECT_EQ(E.parallelism(), TaskPool::hardwareParallelism());
+  E.analyzeAllFromMain(); // must work whatever the hardware width is
+  EXPECT_EQ(E.auditInvariants(), "");
+}
+
+} // namespace
