@@ -16,6 +16,7 @@
 #include "daig/daig.h"
 #include "domain/octagon.h"
 #include "interproc/engine.h"
+#include "support/observe.h"
 #include "workload/generator.h"
 
 #include <chrono>
@@ -98,5 +99,16 @@ int main(int argc, char **argv) {
                              double(WithoutStats.Transfers
                                         ? WithoutStats.Transfers
                                         : 1)));
+
+  // Machine-readable tail: both configurations' Statistics published
+  // through the MetricsRegistry export bridge, so the emitted field names
+  // are exactly the bench-gate schema (memo_hits, memo_misses, ...) and
+  // cannot drift from it.
+  MetricsRegistry Reg;
+  exportStatistics(WithStats, Reg, "memo_on_");
+  exportStatistics(WithoutStats, Reg, "memo_off_");
+  exportDomainCounters(Reg);
+  exportTraceStats(Reg);
+  std::printf("\nJSON: %s\n", Reg.toJson().c_str());
   return 0;
 }

@@ -47,6 +47,7 @@
 #include "daig/daig.h"
 #include "domain/interval.h"
 #include "interproc/engine.h"
+#include "support/observe.h"
 #include "support/task_pool.h"
 #include "workload/generator.h"
 
@@ -402,6 +403,11 @@ void writeJson(const Options &Opt, const CorpusResult &C,
      << ", \"unreachable\": " << C.Counts.Unreachable << "},\n";
   OS << "  \"hardware_threads\": " << TaskPool::hardwareParallelism()
      << ",\n";
+  // Tracing overhead audit: the gate zero-asserts both dai_trace_* fields
+  // on this un-traced default run (see scripts/check_bench_regression.sh).
+  MetricsRegistry TraceReg;
+  exportTraceStats(TraceReg);
+  OS << "  \"trace\": " << TraceReg.toJson() << ",\n";
   OS << "  \"parallel\": [\n";
   for (size_t I = 0; I < Parallel.size(); ++I) {
     const ParallelResult &P = Parallel[I];

@@ -72,6 +72,7 @@
 #include "domain/staged.h"
 #include "domain/zone.h"
 #include "interproc/engine.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 #include "support/task_pool.h"
 #include "workload/generator.h"
@@ -767,6 +768,12 @@ int main(int argc, char **argv) {
   std::fprintf(F, "  ],\n");
   std::fprintf(F, "  \"hardware_threads\": %u,\n",
                TaskPool::hardwareParallelism());
+  // Tracing overhead audit: the default bench runs UN-traced, so the gate
+  // zero-asserts both dai_trace_* fields — a nonzero value means a hook
+  // recorded (or dropped) events on the measured counter paths.
+  MetricsRegistry TraceReg;
+  exportTraceStats(TraceReg);
+  std::fprintf(F, "  \"trace\": %s,\n", TraceReg.toJson().c_str());
   std::fprintf(F, "  \"parallel\": [\n");
   for (size_t RI = 0; RI < ParallelRows.size(); ++RI) {
     const ParallelRow &R = ParallelRows[RI];

@@ -21,6 +21,7 @@
 #include "cfg/lowering.h"
 #include "domain/interval.h"
 #include "interproc/engine.h"
+#include "support/observe.h"
 
 #include <cstdio>
 #include <map>
@@ -140,5 +141,21 @@ int main() {
   }
   std::printf("\n# Paper (Buckets.JS): 2-cs 85/85 (100%%), 1-cs 71/74 "
               "(96%%), insensitive 4/18 (22%%) — expect the same ordering.\n");
+
+  // Machine-readable tail under the fig10 bench schema names (per-policy
+  // verified/total as counters, plus the run's thread-local domain counter
+  // families through the export bridge).
+  MetricsRegistry Reg;
+  for (const auto &P : Policies) {
+    const PolicyResult &T = Totals[P.K];
+    char Verified[32], Obligations[32];
+    std::snprintf(Verified, sizeof Verified, "k%u_verified", P.K);
+    std::snprintf(Obligations, sizeof Obligations, "k%u_obligations", P.K);
+    Reg.add(Verified, T.Verified);
+    Reg.add(Obligations, T.Total);
+  }
+  exportDomainCounters(Reg);
+  exportTraceStats(Reg);
+  std::printf("\nJSON: %s\n", Reg.toJson().c_str());
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "cfg/lowering.h"
 #include "daig/daig.h"
 #include "domain/shape.h"
+#include "support/observe.h"
 
 #include <chrono>
 #include <cstdio>
@@ -119,6 +120,7 @@ int main() {
               "wf-result?", "unrolls", "transfers", "time(us)");
 
   int Failures = 0;
+  MetricsRegistry Reg;
   for (const ListProgram &P : ListPrograms) {
     LowerResult LR = frontend(P.Source);
     if (!LR.ok()) {
@@ -143,9 +145,18 @@ int main() {
     if (Safe != P.ExpectSafe ||
         (P.ExpectWellFormedResult && !WellFormed))
       ++Failures;
+    // Counters add, so the registry accumulates the corpus-wide totals
+    // under the established bench field names.
+    exportStatistics(Stats, Reg);
   }
   std::printf("\n# Paper: all utilities verify; append converges in one "
               "demanded unrolling.\n");
+
+  Reg.add("shape_programs", static_cast<uint64_t>(
+                                sizeof(ListPrograms) / sizeof(ListPrograms[0])));
+  Reg.add("shape_failures", static_cast<uint64_t>(Failures));
+  exportTraceStats(Reg);
+  std::printf("\nJSON: %s\n", Reg.toJson().c_str());
   if (Failures) {
     std::printf("# %d UNEXPECTED verification outcomes\n", Failures);
     return 1;

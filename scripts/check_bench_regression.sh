@@ -232,6 +232,39 @@ for BFIELD in zone_budget_exhaustions zone_degraded_cells \
 done
 echo "fig10 gate [budget]: un-budgeted run shows zero budget exhaustions / degraded cells / honored cancellations"
 
+# Tracing hygiene: the default gate runs are UN-TRACED, and a disabled
+# trace hook must cost one branch — never a recorded (or dropped) event.
+# Any nonzero dai_trace_* counter in a fresh JSON means a hook fired on the
+# measured counter paths (tracing left enabled, or a hook missing its
+# gate), which would also invalidate the wall-clock columns. Fresh JSONs
+# without the fields get a named SKIP (bench predates the observability
+# layer); this check is baseline-independent.
+trace_gate() {
+  TLABEL=$1
+  TFILE=$2
+  if ! grep -q '"dai_trace_events_recorded":' "$TFILE" 2>/dev/null; then
+    echo "SKIP [trace-$TLABEL]: $TFILE carries no dai_trace_* fields (bench predates the observability layer); trace hygiene not checked"
+    return 0
+  fi
+  for TF in dai_trace_events_recorded dai_trace_events_dropped; do
+    TTOTAL=$(sum_fresh_field "$TF" "$TFILE")
+    if ! is_num "$TTOTAL"; then
+      echo "FAIL [trace-$TLABEL]: malformed $TF field in $TFILE" >&2
+      return 1
+    fi
+    if [ "$TTOTAL" -gt 0 ]; then
+      echo "FAIL [trace-$TLABEL]: $TF is $TTOTAL on the un-traced gate run (expected 0 — a tracing hook recorded events on the measured counter paths)" >&2
+      return 1
+    fi
+  done
+  echo "trace gate [$TLABEL]: un-traced run recorded and dropped 0 trace events"
+}
+
+trace_gate fig10 "$FRESH" || STATUS=1
+if [ -n "$VERIFY_FRESH" ] && [ -r "$VERIFY_FRESH" ]; then
+  trace_gate checker "$VERIFY_FRESH" || STATUS=1
+fi
+
 # parallel_gate LABEL FRESH_FILE BASELINE_FILE — the serial-vs-parallel
 # cross-check: mismatches in the FRESH json fail regardless of the
 # baseline; files without threads rows get a named SKIP (the baseline one

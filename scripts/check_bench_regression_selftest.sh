@@ -207,6 +207,42 @@ run_case parallel-checker-mismatch 1 \
   'FAIL \[parallel-checker\]: 2 serial-vs-parallel result mismatches' \
   "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_parallel_mismatch.json"
 
+# 22. Fresh json without dai_trace_* fields (bench predates the
+# observability layer): named SKIP, still exit 0.
+run_case trace-skip-no-fields 0 'SKIP \[trace-fig10\]:' \
+  "$TMP/base.json" "$TMP/fresh.json"
+
+# 23. Trace fields present and zero: the hygiene gate passes by name.
+{
+  good_json
+  echo '{"trace": {"dai_trace_events_dropped": 0, "dai_trace_events_recorded": 0}}'
+} > "$TMP/fresh_trace_zero.json"
+run_case trace-zero-pass 0 'trace gate \[fig10\]: un-traced run' \
+  "$TMP/base.json" "$TMP/fresh_trace_zero.json"
+
+# 24. Nonzero trace counter on the un-traced gate run: named FAIL — a hook
+# recorded events on the measured counter paths.
+sed 's/"dai_trace_events_recorded": 0/"dai_trace_events_recorded": 42/' \
+  "$TMP/fresh_trace_zero.json" > "$TMP/fresh_trace_nonzero.json"
+run_case trace-nonzero 1 \
+  'FAIL \[trace-fig10\]: dai_trace_events_recorded is 42' \
+  "$TMP/base.json" "$TMP/fresh_trace_nonzero.json"
+
+# 25. Malformed trace counter: named FAIL, not an awk error.
+sed 's/"dai_trace_events_dropped": 0/"dai_trace_events_dropped": "no"/' \
+  "$TMP/fresh_trace_zero.json" > "$TMP/fresh_trace_garbage.json"
+run_case trace-malformed 1 'FAIL \[trace-fig10\]: malformed' \
+  "$TMP/base.json" "$TMP/fresh_trace_garbage.json"
+
+# 26. The verify json's trace fields are gated too.
+{
+  verify_json
+  echo '{"trace": {"dai_trace_events_dropped": 3, "dai_trace_events_recorded": 0}}'
+} > "$TMP/vfresh_trace_nonzero.json"
+run_case trace-checker-nonzero 1 \
+  'FAIL \[trace-checker\]: dai_trace_events_dropped is 3' \
+  "$TMP/base.json" "$TMP/fresh.json" "$TMP/vbase.json" "$TMP/vfresh_trace_nonzero.json"
+
 if [ "$FAILURES" -gt 0 ]; then
   echo "check_bench_regression_selftest: $FAILURES case(s) failed" >&2
   exit 1

@@ -6,7 +6,8 @@
 #
 # Checks, all derived from the committed sources rather than a hand-kept
 # list so they cannot themselves go stale:
-#   1. README.md, docs/architecture.md, and docs/benchmarking.md exist.
+#   1. README.md, docs/architecture.md, docs/benchmarking.md, and
+#      docs/observability.md exist.
 #   2. The README documents the tier-1 verify flow (cmake -B build /
 #      cmake --build build / ctest) — the exact commands CI runs.
 #   3. Every bench_*/example_* executable name the docs mention has a
@@ -34,7 +35,7 @@ fail() {
 
 [ -r "$README" ] || { echo "docs-check: README.md missing" >&2; exit 1; }
 DOCS="$README"
-for D in architecture benchmarking; do
+for D in architecture benchmarking observability; do
   if [ -r "$ROOT/docs/$D.md" ]; then
     DOCS="$DOCS $ROOT/docs/$D.md"
   else

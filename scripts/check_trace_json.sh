@@ -1,0 +1,95 @@
+#!/bin/sh
+# check_trace_json.sh — schema validator for the Chrome trace_event JSON
+# that support/observe.h's writeChromeTrace / DAI_TRACE emit.
+#
+# The exporter writes a FIXED line-oriented shape (one event object per
+# line inside {"traceEvents": [...]}), so the validation is plain POSIX
+# sh + awk — no JSON library, runs in any CI image. Checks:
+#   - the file exists, starts with the {"traceEvents": [ header, and ends
+#     with the ]} footer (a truncated export fails here);
+#   - every event line carries the required keys: name, ph, ts, pid, tid;
+#   - ph is "X" (complete span, must also carry dur) or "i" (instant);
+#   - ts is a plain non-negative number;
+#   - ts is monotone non-decreasing PER TID — the exporter sorts by
+#     (tid, start, depth), and chrome://tracing/Perfetto rely on it;
+#   - at least one event was recorded (an empty trace means the run the
+#     file was supposed to capture was not traced).
+#
+# usage: check_trace_json.sh TRACE.json
+# exit:  0 valid, 1 schema violation (named FAIL verdict), 2 usage/missing
+#        file. Negative-tested by scripts/check_trace_json_selftest.sh.
+
+set -u
+
+if [ "$#" -ne 1 ]; then
+  echo "usage: $0 TRACE.json" >&2
+  exit 2
+fi
+TRACE=$1
+
+if [ ! -r "$TRACE" ]; then
+  echo "FAIL [trace-json]: $TRACE is missing or unreadable — the traced run that should have produced it failed" >&2
+  exit 2
+fi
+
+awk -v file="$TRACE" '
+  function fail(msg) {
+    printf "FAIL [trace-json]: %s (%s line %d)\n", msg, file, NR | "cat >&2"
+    bad = 1
+    exit 1
+  }
+  # Extracts the value following "key": on the current line; returns the
+  # sentinel "?" when the key is absent.
+  function val(key,    s) {
+    s = $0
+    if (!sub(".*\"" key "\":[ \t]*", "", s)) return "?"
+    sub(/[,}].*/, "", s)
+    gsub(/[ \t"]/, "", s)
+    return s
+  }
+  NR == 1 {
+    if ($0 != "{\"traceEvents\": [")
+      fail("missing {\"traceEvents\": [ header")
+    next
+  }
+  /^\]\}[ \t]*$/ { saw_footer = 1; next }
+  saw_footer { fail("content after the ]} footer") }
+  /^[ \t]*$/ { next }
+  {
+    line = $0
+    sub(/,[ \t]*$/, "", line)
+    if (line !~ /^\{.*\}$/)
+      fail("event line is not a {...} object")
+    for (i = split("name ph ts pid tid", req, " "); i >= 1; i--)
+      if (index($0, "\"" req[i] "\":") == 0)
+        fail("event missing required key \"" req[i] "\"")
+    ph = val("ph")
+    if (ph != "X" && ph != "i")
+      fail("ph is \"" ph "\" (expected \"X\" or \"i\")")
+    if (ph == "X" && index($0, "\"dur\":") == 0)
+      fail("complete (\"X\") event missing \"dur\"")
+    ts = val("ts")
+    if (ts !~ /^[0-9]+(\.[0-9]+)?$/)
+      fail("ts is not a plain non-negative number: \"" ts "\"")
+    tid = val("tid")
+    if (tid !~ /^[0-9]+$/)
+      fail("tid is not a plain non-negative integer: \"" tid "\"")
+    if (tid in last_ts && ts + 0 < last_ts[tid] + 0)
+      fail("ts not monotone per tid: tid " tid " goes " last_ts[tid] " -> " ts)
+    last_ts[tid] = ts
+    events++
+    if (!(tid in seen)) { seen[tid] = 1; tids++ }
+  }
+  END {
+    if (bad) exit 1
+    if (!saw_footer) {
+      printf "FAIL [trace-json]: missing ]} footer — %s is truncated\n", file | "cat >&2"
+      exit 1
+    }
+    if (events == 0) {
+      printf "FAIL [trace-json]: %s contains no events — the run it should have captured was not traced\n", file | "cat >&2"
+      exit 1
+    }
+    printf "OK [trace-json]: %d events across %d thread(s), ts monotone per tid\n", events, tids
+  }
+' "$TRACE"

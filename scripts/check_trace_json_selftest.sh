@@ -1,0 +1,94 @@
+#!/bin/sh
+# check_trace_json_selftest.sh — negative tests for check_trace_json.sh.
+#
+# The validator guards the trace_json_check ctest lane, so its failure
+# branches must actually fire: a validator that silently passes garbage
+# would let a broken exporter ship. Each case feeds a crafted fixture and
+# asserts BOTH the exit code and the named verdict on the output.
+#
+# usage: check_trace_json_selftest.sh [REPO_ROOT]
+
+set -u
+
+ROOT=${1:-$(dirname "$0")/..}
+CHECK="$ROOT/scripts/check_trace_json.sh"
+TMP=$(mktemp -d) || exit 2
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+if [ ! -r "$CHECK" ]; then
+  echo "selftest: cannot find $CHECK" >&2
+  exit 2
+fi
+
+FAILURES=0
+CASE=0
+
+# run_case NAME EXPECTED_EXIT EXPECTED_PATTERN FILE
+run_case() {
+  CASE=$((CASE + 1))
+  NAME=$1
+  WANT_EXIT=$2
+  WANT_PAT=$3
+  FILE=$4
+  OUT=$(sh "$CHECK" "$FILE" 2>&1)
+  GOT_EXIT=$?
+  if [ "$GOT_EXIT" -ne "$WANT_EXIT" ]; then
+    echo "selftest case $CASE ($NAME): expected exit $WANT_EXIT, got $GOT_EXIT" >&2
+    echo "$OUT" | sed 's/^/    /' >&2
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! echo "$OUT" | grep -q "$WANT_PAT"; then
+    echo "selftest case $CASE ($NAME): output missing /$WANT_PAT/" >&2
+    echo "$OUT" | sed 's/^/    /' >&2
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "selftest case $CASE ($NAME): ok"
+}
+
+# A valid two-tid trace in exactly the exporter's line shape.
+cat > "$TMP/good.json" <<'EOF'
+{"traceEvents": [
+{"name": "daig.cell_eval", "ph": "X", "ts": 1.000, "dur": 5.000, "pid": 1, "tid": 1, "args": {"a0": 3, "a1": 0}},
+{"name": "memo.hit", "ph": "i", "s": "t", "ts": 2.500, "pid": 1, "tid": 1, "args": {"a0": 4, "a1": 0}},
+{"name": "taskpool.task", "ph": "X", "ts": 0.250, "dur": 9.000, "pid": 1, "tid": 2, "args": {"a0": 1, "a1": 0}}
+]}
+EOF
+run_case valid-trace 0 "OK \[trace-json\]" "$TMP/good.json"
+
+run_case missing-file 2 "FAIL \[trace-json\].*missing or unreadable" \
+  "$TMP/does_not_exist.json"
+
+sed 's/"ts": 2.500, //' "$TMP/good.json" > "$TMP/missing_ts.json"
+run_case missing-ts-key 1 'missing required key "ts"' "$TMP/missing_ts.json"
+
+sed 's/"ts": 2.500/"ts": 0.100/' "$TMP/good.json" > "$TMP/nonmono.json"
+run_case non-monotone-ts 1 "ts not monotone per tid" "$TMP/nonmono.json"
+
+sed '$d' "$TMP/good.json" > "$TMP/truncated.json"
+run_case truncated-file 1 "missing \]} footer" "$TMP/truncated.json"
+
+sed 's/"ts": 1.000/"ts": fast/' "$TMP/good.json" > "$TMP/nonnum.json"
+run_case non-numeric-ts 1 "ts is not a plain non-negative number" \
+  "$TMP/nonnum.json"
+
+sed 's/"dur": 5.000, //' "$TMP/good.json" > "$TMP/nodur.json"
+run_case span-missing-dur 1 'complete ("X") event missing "dur"' \
+  "$TMP/nodur.json"
+
+sed 's/"ph": "i"/"ph": "Q"/' "$TMP/good.json" > "$TMP/badph.json"
+run_case bad-phase 1 'ph is "Q"' "$TMP/badph.json"
+
+printf '{"traceEvents": [\n]}\n' > "$TMP/empty.json"
+run_case empty-trace 1 "contains no events" "$TMP/empty.json"
+
+printf 'not a trace\n' > "$TMP/noheader.json"
+run_case missing-header 1 "missing {\"traceEvents\": \[ header" \
+  "$TMP/noheader.json"
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "selftest: $FAILURES of $CASE cases failed" >&2
+  exit 1
+fi
+echo "selftest: all $CASE cases passed"

@@ -33,6 +33,7 @@
 #include "daig/daig.h"
 #include "domain/abstract_domain.h"
 #include "lang/stmt.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <cstdint>
@@ -79,6 +80,7 @@ Verdict evaluateObligation(const Obligation &Ob, const typename D::Elem &Pre,
                            bool DegradedPre, Statistics *Stats = nullptr) {
   if (Stats)
     ++Stats->ChecksEvaluated;
+  TraceSpan Sp("check.obligation", Ob.Edge, Ob.SubIndex);
   if (D::isBottom(Pre))
     return Verdict::Unreachable;
   // Entailment probe: no state of γ(Pre) satisfies ¬φ ⇒ φ holds on entry.

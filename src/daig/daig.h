@@ -43,6 +43,7 @@
 #include "domain/abstract_domain.h"
 #include "support/budget.h"
 #include "support/fault_injection.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <algorithm>
@@ -56,6 +57,121 @@
 #include <variant>
 
 namespace dai {
+
+/// How one demanded cell was resolved in a recorded query (see
+/// Daig::explainQuery): the direct observables of the Fig. 8 rules —
+/// Q-Reuse (Reused / DegradedReuse), Q-Match (MemoHit), Q-Miss
+/// (Evaluated) — plus the budget layer's ⊤-substitution.
+enum class DemandOutcome : uint8_t {
+  Reused,        ///< Q-Reuse: the cell already held a value.
+  Evaluated,     ///< Q-Miss: computed fresh by its defining computation.
+  MemoHit,       ///< Q-Match: demand-miss answered by the memo table.
+  TopBudget,     ///< ⊤-substituted by hard budget exhaustion.
+  DegradedReuse, ///< Q-Reuse of a budget-degraded value.
+};
+
+inline const char *demandOutcomeName(DemandOutcome O) {
+  switch (O) {
+  case DemandOutcome::Reused:
+    return "reused";
+  case DemandOutcome::Evaluated:
+    return "evaluated";
+  case DemandOutcome::MemoHit:
+    return "memo-hit";
+  case DemandOutcome::TopBudget:
+    return "top-budget";
+  case DemandOutcome::DegradedReuse:
+    return "degraded-reuse";
+  }
+  return "?";
+}
+
+/// The demand tree one explainQuery call records: which cells the query
+/// traversed, in traversal order, and how each was resolved. Deterministic
+/// for a fixed DAIG state: demand traversal follows the (deterministic)
+/// computation-source order, so two runs over equal DAIG states record
+/// equal trees.
+struct DemandTree {
+  static constexpr uint8_t kNoFn = 0xff;
+
+  struct Node {
+    Name N;
+    DemandOutcome O = DemandOutcome::Evaluated;
+    uint8_t FK = kNoFn; ///< FnKind of the defining computation; kNoFn = none
+                        ///< (e.g. the entry cell).
+    std::vector<size_t> Children;
+  };
+
+  std::vector<Node> Nodes;   ///< Preorder (record order).
+  std::vector<size_t> Roots; ///< Top-level demands, in query order.
+
+  size_t size() const { return Nodes.size(); }
+
+  /// Indented text rendering, one cell per line:
+  ///   <name> [<- <fn>] [outcome]
+  std::string text() const {
+    std::string Out;
+    auto render = [&](auto &&Self, size_t Idx, unsigned Ind) -> void {
+      const Node &Nd = Nodes[Idx];
+      Out.append(size_t(Ind) * 2, ' ');
+      Out += Nd.N.toString();
+      if (Nd.FK != kNoFn) {
+        Out += " <- ";
+        Out += fnKindName(FnKind(Nd.FK));
+      }
+      Out += " [";
+      Out += demandOutcomeName(Nd.O);
+      Out += "]\n";
+      for (size_t C : Nd.Children)
+        Self(Self, C, Ind + 1);
+    };
+    for (size_t R : Roots)
+      render(render, R, 0);
+    return Out;
+  }
+
+  /// Graphviz DOT rendering; outcome encoded as node color.
+  std::string dot() const {
+    auto escape = [](const std::string &S) {
+      std::string E;
+      for (char C : S) {
+        if (C == '"' || C == '\\')
+          E += '\\';
+        E += C;
+      }
+      return E;
+    };
+    auto color = [](DemandOutcome O) {
+      switch (O) {
+      case DemandOutcome::Reused:
+        return "gray60";
+      case DemandOutcome::Evaluated:
+        return "black";
+      case DemandOutcome::MemoHit:
+        return "blue";
+      case DemandOutcome::TopBudget:
+        return "red";
+      case DemandOutcome::DegradedReuse:
+        return "orange";
+      }
+      return "black";
+    };
+    std::string Out = "digraph demand {\n"
+                      "  node [shape=box, fontname=\"monospace\"];\n";
+    for (size_t I = 0; I < Nodes.size(); ++I) {
+      const Node &Nd = Nodes[I];
+      Out += "  n" + std::to_string(I) + " [label=\"" +
+             escape(Nd.N.toString()) + "\\n" + demandOutcomeName(Nd.O) +
+             "\", color=" + color(Nd.O) + "];\n";
+    }
+    for (size_t I = 0; I < Nodes.size(); ++I)
+      for (size_t C : Nodes[I].Children)
+        Out += "  n" + std::to_string(I) + " -> n" + std::to_string(C) +
+               ";\n";
+    Out += "}\n";
+    return Out;
+  }
+};
 
 /// A DAIG over abstract domain \p D for a single control-flow graph.
 template <typename D>
@@ -171,10 +287,16 @@ public:
     if (It->second.hasValue()) {
       if (Stats)
         ++Stats->CellReuses; // Q-Reuse
-      if (!Degraded.empty() && Degraded.count(N))
+      bool Deg = !Degraded.empty() && Degraded.count(N);
+      if (Deg)
         budgetState().TaintPending = true; // consumer inherits the flag
+      if (Prov)
+        provEnter(N, Deg ? DemandOutcome::DegradedReuse
+                         : DemandOutcome::Reused);
       return std::get<Elem>(*It->second.V);
     }
+    ProvFrame PF(*this, N);
+    TraceSpan Sp("daig.cell_eval", N.id());
     budgetCheckpoint("DAIG cell evaluation");
     DAI_FAULT_POINT(CellEval);
     if (budgetExhausted())
@@ -194,6 +316,27 @@ public:
     if (Taint.consumed())
       markDegraded(N);
     return Result;
+  }
+
+  /// Runs queryLocation(\p L) with demand-provenance recording enabled and
+  /// returns the recorded demand tree: every cell the query traversed,
+  /// tagged reused / evaluated / memo-hit / ⊤-substituted-by-budget. The
+  /// query itself is a REAL query (values computed are stored, counters
+  /// count), so a second explainQuery of the same location shows the
+  /// from-scratch-consistent steady state: all reuses. Deterministic: for
+  /// equal DAIG states the tree is bit-identical across runs.
+  DemandTree explainQuery(Loc L) {
+    assert(!Prov && "explainQuery does not nest");
+    ProvRecorder Rec;
+    Prov = &Rec;
+    try {
+      (void)queryLocation(L);
+    } catch (...) {
+      Prov = nullptr;
+      throw;
+    }
+    Prov = nullptr;
+    return std::move(Rec.T);
   }
 
   //===--------------------------------------------------------------------===//
@@ -1044,6 +1187,64 @@ private:
   // Query evaluation
   //===--------------------------------------------------------------------===//
 
+  //===--------------------------------------------------------------------===//
+  // Demand-provenance recording (explainQuery)
+  //===--------------------------------------------------------------------===//
+
+  /// Recorder state: non-null only inside explainQuery, so the recording
+  /// hooks on the query paths cost one pointer test when inactive.
+  struct ProvRecorder {
+    DemandTree T;
+    std::vector<size_t> Stack; ///< Indices of open demand-miss frames.
+  };
+  ProvRecorder *Prov = nullptr;
+
+  /// Records a node for \p N under the current frame (or as a root) and
+  /// returns its index. Caller has checked Prov.
+  size_t provEnter(Name N, DemandOutcome O) {
+    size_t Idx = Prov->T.Nodes.size();
+    typename DemandTree::Node Nd;
+    Nd.N = N;
+    Nd.O = O;
+    auto CIt = CompOf.find(N);
+    Nd.FK = CIt == CompOf.end() ? DemandTree::kNoFn : uint8_t(CIt->second.F);
+    Prov->T.Nodes.push_back(std::move(Nd));
+    if (Prov->Stack.empty())
+      Prov->T.Roots.push_back(Idx);
+    else
+      Prov->T.Nodes[Prov->Stack.back()].Children.push_back(Idx);
+    return Idx;
+  }
+
+  /// Retags the open frame (the cell currently being evaluated) — used by
+  /// the memo-hit returns and ⊤-degradation.
+  void provMarkTop(DemandOutcome O) {
+    if (Prov && !Prov->Stack.empty())
+      Prov->T.Nodes[Prov->Stack.back()].O = O;
+  }
+
+  /// RAII demand-miss frame: records the node and keeps it open (children
+  /// attach to it) for the evaluation's dynamic extent — including across
+  /// exception unwinds, so a cancelled query still leaves a well-formed
+  /// tree.
+  class ProvFrame {
+  public:
+    ProvFrame(Daig &G, Name N) : P(G.Prov) {
+      if (!P)
+        return;
+      P->Stack.push_back(G.provEnter(N, DemandOutcome::Evaluated));
+    }
+    ~ProvFrame() {
+      if (P)
+        P->Stack.pop_back();
+    }
+    ProvFrame(const ProvFrame &) = delete;
+    ProvFrame &operator=(const ProvFrame &) = delete;
+
+  private:
+    ProvRecorder *P;
+  };
+
   void storeValue(Name N, const Elem &V) {
     auto It = Cells.find(N);
     assert(It != Cells.end() && "storing into a missing cell");
@@ -1067,6 +1268,8 @@ private:
     storeValue(N, Top);
     markDegraded(N);
     budgetState().TaintPending = true;
+    provMarkTop(DemandOutcome::TopBudget);
+    traceInstant("daig.degrade_top", N.id());
     return Top;
   }
 
@@ -1085,6 +1288,7 @@ private:
     const AnalysisLimits &Limits = analysisLimits();
     uint64_t Iter = 0;
     for (;;) {
+      TraceSpan Sp("daig.fix_iter", N.id(), Iter);
       budgetCheckpoint("DAIG fix iteration");
       DAI_FAULT_POINT(Fix);
       if (budgetExhausted())
@@ -1137,8 +1341,10 @@ private:
           Name::fn(FnKind::Transfer),
           Name::pair(Name::valHash(S.hash()), Name::valHash(D::hash(In))));
       if (!IsCall && Memo) {
-        if (auto Hit = Memo->lookup(Key))
+        if (auto Hit = Memo->lookup(Key)) {
+          provMarkTop(DemandOutcome::MemoHit);
           return *Hit;
+        }
       }
       if (Stats)
         ++Stats->Transfers;
@@ -1156,8 +1362,10 @@ private:
         Key = Name::pair(Key, Name::valHash(D::hash(Ins.back())));
       }
       if (Memo) {
-        if (auto Hit = Memo->lookup(Key))
+        if (auto Hit = Memo->lookup(Key)) {
+          provMarkTop(DemandOutcome::MemoHit);
           return *Hit;
+        }
       }
       assert(!Ins.empty() && "join with no inputs");
       Elem Acc = Ins[0];
@@ -1177,8 +1385,10 @@ private:
           Name::fn(FnKind::Widen),
           Name::pair(Name::valHash(D::hash(Prev)), Name::valHash(D::hash(Next))));
       if (Memo) {
-        if (auto Hit = Memo->lookup(Key))
+        if (auto Hit = Memo->lookup(Key)) {
+          provMarkTop(DemandOutcome::MemoHit);
           return *Hit;
+        }
       }
       if (Stats)
         ++Stats->Widens;

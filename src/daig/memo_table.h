@@ -36,6 +36,7 @@
 #include "daig/name.h"
 #include "domain/abstract_domain.h"
 #include "support/fault_injection.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <list>
@@ -85,11 +86,13 @@ public:
     if (It == Table.end()) {
       if (Stats)
         ++Stats->MemoMisses;
+      traceInstant("memo.miss", Key.id());
       return std::nullopt;
     }
     touch(It->second.LruIt);
     if (Stats)
       ++Stats->MemoHits;
+    traceInstant("memo.hit", Key.id());
     return It->second.Value;
   }
 
@@ -113,6 +116,7 @@ public:
     Lru.push_front(Key.id());
     It->second.LruIt = Lru.begin();
     while (Table.size() > MaxEntries && !Lru.empty()) {
+      traceInstant("memo.evict", Lru.back());
       Table.erase(Lru.back());
       Lru.pop_back();
       if (Stats)

@@ -10,6 +10,7 @@
 #include "domain/linear.h"
 #include "support/fault_injection.h"
 #include "support/hashing.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <algorithm>
@@ -425,6 +426,7 @@ void Octagon::close() {
     return;
   }
   ++closureCounters().FullCloses;
+  TraceSpan Sp("oct.close_full", N);
   uint64_t Touched = 0;
   for (size_t V = 0; V < N; ++V)
     pairPivot(V, Touched);
@@ -452,6 +454,7 @@ void Octagon::closeIncremental(size_t XIdx, size_t YIdx) {
   assert(XIdx < numVars() && "pivot variable out of range");
   invalidateDerived(); // the pivot sweeps below write M directly
   ++closureCounters().IncrementalCloses;
+  TraceSpan Sp("oct.close_incr", numVars());
   uint64_t Touched = 0;
   // Every tightened edge is incident to the doubled indices of x (and y),
   // so any path improved by the new constraints decomposes into old
@@ -493,6 +496,7 @@ void Octagon::closeIncrementalMulti(const std::vector<size_t> &Idxs) {
     return; // no touched variables: nothing this closure could restore
   invalidateDerived(); // the pivot sweeps below write M directly
   ++closureCounters().IncrementalCloses;
+  TraceSpan Sp("oct.close_incr", numVars(), Pivots.size());
   uint64_t Touched = 0;
   for (size_t Idx : Pivots) {
     assert(Idx < numVars() && "pivot variable out of range");

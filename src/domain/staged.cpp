@@ -100,6 +100,7 @@ Staged applyTiered(const Staged &In, bool Dual, ZoneFn &&ZF, OctFn &&OF) {
     return Out;
   }
   ++stagedCounters().EscalatedTransfers;
+  TraceSpan Tsp("staged.escalated_transfer");
   Octagon SeedStorage;
   bool WasSeeded = false;
   const Octagon &OctIn = effectiveOct(In, SeedStorage, WasSeeded);
@@ -119,6 +120,7 @@ Octagon dai::seedOctagonFromZone(const Zone &Zv) {
   if (Zv.isBottom())
     return Octagon::bottomValue();
   ++stagedCounters().OctSeeds;
+  TraceSpan Sp("staged.seed_octagon");
   const Zone &C = Zv.closedView();
   Octagon O;
   for (SymbolId V : C.vars())

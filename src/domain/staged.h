@@ -65,6 +65,7 @@
 #include "domain/octagon.h"
 #include "domain/zone.h"
 #include "support/budget.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <cassert>
@@ -213,6 +214,7 @@ Staged queryEscalatedMain(EngineT &E, Loc L) {
     return V;
   }
   ++stagedCounters().Escalations;
+  TraceSpan Sp("staged.escalation", L);
   StagedEscalationScope Scope;
   E.resetAllInstances();
   return E.queryMain(L);

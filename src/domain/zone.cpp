@@ -10,6 +10,7 @@
 #include "domain/linear.h"
 #include "support/fault_injection.h"
 #include "support/hashing.h"
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <algorithm>
@@ -284,6 +285,7 @@ void Zone::closeOverEdge(uint32_t U, uint32_t V) {
   int64_t W = weightOf(U, V);
   assert(W != Inf && "closeOverEdge requires the edge to exist");
   ++zoneCounters().IncrementalCloses;
+  TraceSpan Sp("zone.close_edge", U, V);
   uint64_t Visited = 2; // U and V themselves
   // Improved predecessors of U: s with s→U stored and s→U→V shorter than
   // the current s→V. On a previously-closed graph every newly-finite pair
@@ -334,6 +336,7 @@ void Zone::closeEdgesFrom(uint32_t Vert) {
   GraphBuf &G = bufMut();
   if (G.Out[Vert].empty())
     return;
+  TraceSpan Sp("zone.close_from", Vert);
   // Reduced-cost Dijkstra: rc(u→v) = π(u) + w − π(v) ≥ 0 by the potential
   // certificate, so one heap sweep settles exact distances while touching
   // only vertices reachable through stored (non-⊤) edges — a mostly-⊤ zone
@@ -405,6 +408,7 @@ void Zone::close() {
   }
   invalidateDerived();
   ++zoneCounters().FullCloses;
+  TraceSpan Sp("zone.close_full", B->NumEdges);
   // Restricted all-sources sweep: only vertices that constrain something
   // (have out-edges) can be shortest-path sources. NOTE closeEdgesFrom may
   // add edges to a previously edge-free row, so snapshot the source list

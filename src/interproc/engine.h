@@ -137,6 +137,7 @@ public:
     Instance &Root = instanceFor(rootKey(), /*Seed=*/true);
     uint64_t Passes = 0;
     for (;;) {
+      TraceSpan Sp("interproc.quiescence_pass", Passes);
       Elem V = Root.G->queryLocation(L);
       if (!drainDirtyExits())
         return V;
@@ -153,6 +154,7 @@ public:
     Instance &I = instanceFor(Key, Key == rootKey());
     uint64_t Passes = 0;
     for (;;) {
+      TraceSpan Sp("interproc.quiescence_pass", Passes);
       Elem V = I.G->queryLocation(cfgOf(Key.Fn)->exit());
       if (!drainDirtyExits())
         return V;
@@ -177,6 +179,7 @@ public:
     uint64_t Passes = 0;
     bool Progress = true;
     while (Progress) {
+      TraceSpan Sp("interproc.quiescence_pass", Passes);
       budgetCheckpoint("interprocedural analyze-all pass");
       if (++Passes >= analysisLimits().MaxQuiescencePasses)
         throw AnalysisDivergence(
@@ -480,6 +483,7 @@ private:
   /// at a private Statistics sink, and run one task per instance on the
   /// pool. No shared engine state is mutated until the barrier returns.
   void runParallelPass(const std::vector<InstanceKey> &Work) {
+    TraceSpan Sp("interproc.parallel_pass", Work.size(), Threads);
     SnapshotExits = LastBroadcastExit;
     std::vector<TaskPool::Task> Tasks;
     Tasks.reserve(Work.size());
@@ -524,6 +528,7 @@ private:
   /// apply buffered contributions (both in deterministic order), and
   /// broadcast exits that changed since their last broadcast.
   void mergeParallelPass(const std::vector<InstanceKey> &Work) {
+    TraceSpan Sp("interproc.parallel_merge", Work.size());
     for (const InstanceKey &Key : Work) {
       Instance &I = *Instances.at(Key);
       I.G->setStatistics(&Stats);

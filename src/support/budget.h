@@ -38,6 +38,7 @@
 #ifndef DAI_SUPPORT_BUDGET_H
 #define DAI_SUPPORT_BUDGET_H
 
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <atomic>
@@ -150,14 +151,17 @@ inline bool budgetExhausted() {
 /// bench emits them per sweep size; the regression gate asserts they stay
 /// zero on the default, un-budgeted workload).
 inline void recordBudgetExhaustion() {
+  traceInstant("budget.exhausted");
   ++zoneCounters().BudgetExhaustions;
   ++stagedCounters().BudgetExhaustions;
 }
 inline void recordDegradedCell() {
+  traceInstant("budget.degraded_cell");
   ++zoneCounters().DegradedCells;
   ++stagedCounters().DegradedCells;
 }
 inline void recordCancellationHonored() {
+  traceInstant("budget.cancelled");
   ++zoneCounters().CancellationsHonored;
   ++stagedCounters().CancellationsHonored;
 }
@@ -171,6 +175,7 @@ inline void budgetCheckpoint(const char *Site) {
   BudgetState &S = budgetState();
   if (!S.Active)
     return;
+  traceInstant("budget.checkpoint", S.Steps);
   if (S.B.Cancel && S.B.Cancel->cancelled()) {
     recordCancellationHonored();
     throw AnalysisCancelled(Site);

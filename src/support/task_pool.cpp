@@ -97,18 +97,25 @@ void TaskPool::workerLoop(unsigned Id) {
   for (;;) {
     Task T = grabTask(Id);
     if (T) {
-      // Bracket the task with counter snapshots so its thread_local
-      // deltas can be repatriated to the caller after the batch.
+      // Bracket the task with counter + metric snapshots so its
+      // thread_local deltas can be repatriated to the caller after the
+      // batch.
       ThreadCounters Before = ThreadCounters::snapshot();
-      try {
-        T();
-      } catch (...) {
-        recordError();
+      MetricsRegistry MBefore = metricsRegistry().snapshot();
+      {
+        TraceSpan Sp("taskpool.task", Id);
+        try {
+          T();
+        } catch (...) {
+          recordError();
+        }
       }
       ThreadCounters Delta = ThreadCounters::snapshot().deltaSince(Before);
+      MetricsRegistry MDelta = metricsRegistry().deltaSince(MBefore);
       {
         std::lock_guard<std::mutex> G(AggM);
         Agg.addDelta(Delta);
+        AggMetrics.mergeFrom(MDelta);
       }
       finishTask();
       continue;
@@ -137,10 +144,12 @@ void TaskPool::run(std::vector<Task> Tasks) {
   if (Tasks.empty())
     return;
   if (NumWorkers <= 1 || Tasks.size() == 1) {
-    // Inline fast path: deterministic order, counters already land in the
-    // caller's sinks. Still capture-and-rethrow so error behavior matches
-    // the threaded path (every task runs once).
+    // Inline fast path: deterministic order, counters and metrics already
+    // land in the caller's sinks (bit-identical to a serial run). Still
+    // capture-and-rethrow so error behavior matches the threaded path
+    // (every task runs once).
     for (Task &T : Tasks) {
+      TraceSpan Sp("taskpool.task", 0);
       try {
         T();
       } catch (...) {
@@ -182,10 +191,13 @@ void TaskPool::run(std::vector<Task> Tasks) {
     Task T = grabTask(0);
     if (!T)
       break;
-    try {
-      T();
-    } catch (...) {
-      recordError();
+    {
+      TraceSpan Sp("taskpool.task", 0);
+      try {
+        T();
+      } catch (...) {
+        recordError();
+      }
     }
     finishTask();
   }
@@ -196,15 +208,19 @@ void TaskPool::run(std::vector<Task> Tasks) {
     });
   }
 
-  // Repatriate worker-side counter deltas into the caller's sinks. The
-  // caller's own task executions already landed there directly.
+  // Repatriate worker-side counter and metric deltas into the caller's
+  // sinks. The caller's own task executions already landed there directly.
   ThreadCounters Batch;
+  MetricsRegistry BatchMetrics;
   {
     std::lock_guard<std::mutex> G(AggM);
     Batch = Agg;
     Agg.reset();
+    BatchMetrics = std::move(AggMetrics);
+    AggMetrics.clear();
   }
   Batch.mergeIntoCurrentThread();
+  metricsRegistry().mergeFrom(BatchMetrics);
 
   std::exception_ptr E;
   {

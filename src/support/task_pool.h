@@ -42,6 +42,7 @@
 #ifndef DAI_SUPPORT_TASK_POOL_H
 #define DAI_SUPPORT_TASK_POOL_H
 
+#include "support/observe.h"
 #include "support/statistics.h"
 
 #include <atomic>
@@ -113,7 +114,8 @@ private:
                                     ///< park/rescan signal.
 
   std::mutex AggM;
-  ThreadCounters Agg; ///< Worker-side counter deltas for the batch.
+  ThreadCounters Agg;          ///< Worker-side counter deltas for the batch.
+  MetricsRegistry AggMetrics;  ///< Worker-side metric deltas (same barrier).
 
   std::mutex ErrM;
   std::exception_ptr FirstError;

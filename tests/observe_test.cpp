@@ -1,0 +1,441 @@
+//===-- tests/observe_test.cpp - Observability layer tests ----------------===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer (support/observe.h): histogram bucketing is
+/// deterministic; MetricsRegistry merge/delta follow the counter-add /
+/// gauge-max / bucket-add contract and TaskPool repatriates worker metric
+/// deltas exactly like ThreadCounters (bit-identical JSON at every thread
+/// count); the trace ring records only when enabled (and counts drops,
+/// never wraps); exports are sorted ts-monotone per tid; and
+/// Daig::explainQuery returns the same demand tree for equal DAIG states —
+/// with the outcome tags actually tracking Q-Reuse / Q-Match / Q-Miss.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/observe.h"
+
+#include "cfg/lowering.h"
+#include "daig/daig.h"
+#include "domain/interval.h"
+#include "support/budget.h"
+#include "support/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace dai;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, DeterministicBucketing) {
+  // v lands in the first bucket with v <= bound; above the last bound it
+  // lands in the overflow bucket.
+  Histogram H({10, 100, 1000});
+  H.record(0);
+  H.record(10);   // boundary: still the first bucket
+  H.record(11);   // first value of the second bucket
+  H.record(1000); // boundary of the last bounded bucket
+  H.record(1001); // overflow
+  ASSERT_EQ(H.counts().size(), 4u);
+  EXPECT_EQ(H.counts()[0], 2u);
+  EXPECT_EQ(H.counts()[1], 1u);
+  EXPECT_EQ(H.counts()[2], 1u);
+  EXPECT_EQ(H.counts()[3], 1u);
+  EXPECT_EQ(H.total(), 5u);
+}
+
+TEST(Histogram, SameSequenceSameBuckets) {
+  std::vector<uint64_t> Values;
+  for (uint64_t I = 0; I < 500; ++I)
+    Values.push_back((I * 2654435761u) % 3'000'000'000u);
+  Histogram A(Histogram::defaultLatencyBoundsNs());
+  Histogram B(Histogram::defaultLatencyBoundsNs());
+  for (uint64_t V : Values)
+    A.record(V);
+  for (uint64_t V : Values)
+    B.record(V);
+  EXPECT_EQ(A.counts(), B.counts());
+  EXPECT_EQ(A.total(), B.total());
+}
+
+TEST(Histogram, MergeAndSubtractAreBucketwise) {
+  Histogram A({10, 100});
+  Histogram B({10, 100});
+  A.record(5);
+  A.record(50);
+  B.record(50);
+  B.record(500);
+  Histogram M = A;
+  M.merge(B);
+  EXPECT_EQ(M.total(), 4u);
+  EXPECT_EQ(M.counts()[0], 1u);
+  EXPECT_EQ(M.counts()[1], 2u);
+  EXPECT_EQ(M.counts()[2], 1u);
+  M.subtract(B);
+  EXPECT_EQ(M.counts(), A.counts());
+  EXPECT_EQ(M.total(), A.total());
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, MergeSemantics) {
+  MetricsRegistry A, B;
+  A.add("transfers", 10);
+  B.add("transfers", 5);
+  A.gaugeMax("dbm_peak_bytes", 100);
+  B.gaugeMax("dbm_peak_bytes", 60);
+  A.recordLatencyNs("cell_eval_ns", 1'500);
+  B.recordLatencyNs("cell_eval_ns", 1'500);
+  B.add("joins", 2);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.value("transfers"), 15u); // counters add
+  EXPECT_EQ(A.value("dbm_peak_bytes"), 100u); // gauges take the max
+  EXPECT_EQ(A.value("joins"), 2u); // absent slots adopt the other side
+  const MetricsRegistry::Metric *H = A.find("cell_eval_ns");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->H.total(), 2u); // histogram buckets add
+}
+
+TEST(MetricsRegistry, DeltaSinceIsTheRepatriationInverse) {
+  MetricsRegistry Before;
+  Before.add("transfers", 10);
+  Before.gaugeMax("dbm_peak_bytes", 80);
+  MetricsRegistry Cur = Before.snapshot();
+  Cur.add("transfers", 7);
+  Cur.add("widens", 1);
+  Cur.gaugeMax("dbm_peak_bytes", 120);
+
+  MetricsRegistry D = Cur.deltaSince(Before);
+  EXPECT_EQ(D.value("transfers"), 7u);
+  EXPECT_EQ(D.value("widens"), 1u);
+  // Gauges carry the CURRENT value so a max-merge is idempotent.
+  EXPECT_EQ(D.value("dbm_peak_bytes"), 120u);
+
+  MetricsRegistry Rebuilt = Before.snapshot();
+  Rebuilt.mergeFrom(D);
+  EXPECT_EQ(Rebuilt.toJson(), Cur.toJson());
+}
+
+TEST(MetricsRegistry, ToJsonIsDeterministicAndSorted) {
+  MetricsRegistry A;
+  A.add("zeta", 1);
+  A.add("alpha", 2);
+  A.gaugeMax("mid", 3);
+  MetricsRegistry B;
+  B.gaugeMax("mid", 3);
+  B.add("alpha", 2);
+  B.add("zeta", 1);
+  EXPECT_EQ(A.toJson(), B.toJson()); // insertion order is irrelevant
+  EXPECT_EQ(A.toJson(), "{\"alpha\": 2, \"mid\": 3, \"zeta\": 1}");
+}
+
+/// The bench-facing bridge emits the fig10 schema names (so a bench that
+/// snapshots the registry cannot drift from the gate's field list).
+TEST(MetricsRegistry, ExportBridgesUseEstablishedNames) {
+  Statistics S;
+  S.Transfers = 3;
+  S.ChecksRechecked = 2;
+  MetricsRegistry R;
+  exportStatistics(S, R);
+  EXPECT_EQ(R.value("transfers"), 3u);
+  EXPECT_EQ(R.value("checks_rechecked"), 2u);
+  EXPECT_EQ(R.find("joins"), nullptr); // zero fields stay un-emitted
+
+  MetricsRegistry P;
+  exportStatistics(S, P, "verify_");
+  EXPECT_EQ(P.value("verify_transfers"), 3u);
+
+  MetricsRegistry Dom;
+  exportDomainCounters(Dom);
+  // The zero-assertable budget fields must exist even when zero.
+  EXPECT_NE(Dom.find("zone_budget_exhaustions"), nullptr);
+  EXPECT_NE(Dom.find("staged_degraded_cells"), nullptr);
+  EXPECT_NE(Dom.find("dbm_cells_touched"), nullptr);
+
+  MetricsRegistry T;
+  exportTraceStats(T);
+  EXPECT_NE(T.find("dai_trace_events_recorded"), nullptr);
+  EXPECT_NE(T.find("dai_trace_events_dropped"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// TaskPool metric repatriation
+//===----------------------------------------------------------------------===//
+
+/// Runs \p N metric-writing tasks on a pool of \p Threads and returns the
+/// caller-side registry JSON, starting from a cleared registry.
+std::string runMetricBatch(unsigned Threads, unsigned N) {
+  metricsRegistry().clear();
+  TaskPool Pool(Threads);
+  std::vector<TaskPool::Task> Tasks;
+  for (unsigned I = 0; I < N; ++I)
+    Tasks.push_back([I] {
+      MetricsRegistry &R = metricsRegistry();
+      R.add("obs_test_tasks");
+      R.add("obs_test_work", I);
+      R.gaugeMax("obs_test_peak", I);
+      R.recordLatencyNs("obs_test_latency_ns", uint64_t(I) * 10'000);
+    });
+  Pool.run(std::move(Tasks));
+  std::string Json = metricsRegistry().toJson();
+  metricsRegistry().clear();
+  return Json;
+}
+
+TEST(TaskPoolMetrics, WorkerDeltasRepatriateToCaller) {
+  constexpr unsigned N = 64;
+  std::string Serial = runMetricBatch(1, N);
+  // Counters add and gauges max, so the caller-side totals are schedule-
+  // independent: every thread count yields the serial run's JSON bit for
+  // bit.
+  EXPECT_EQ(runMetricBatch(2, N), Serial);
+  EXPECT_EQ(runMetricBatch(4, N), Serial);
+  EXPECT_NE(Serial.find("\"obs_test_tasks\": 64"), std::string::npos)
+      << Serial;
+}
+
+TEST(TaskPoolMetrics, RepatriationSurvivesTaskExceptions) {
+  metricsRegistry().clear();
+  TaskPool Pool(3);
+  std::vector<TaskPool::Task> Tasks;
+  for (unsigned I = 0; I < 12; ++I)
+    Tasks.push_back([I] {
+      metricsRegistry().add("obs_test_throwing_tasks");
+      if (I % 3 == 0)
+        throw std::runtime_error("task failure");
+    });
+  EXPECT_THROW(Pool.run(std::move(Tasks)), std::runtime_error);
+  // Every task ran once and its pre-throw metrics were still repatriated.
+  EXPECT_EQ(metricsRegistry().value("obs_test_throwing_tasks"), 12u);
+  metricsRegistry().clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Trace ring
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, DisabledHooksRecordNothing) {
+  setTracingEnabled(false);
+  resetTrace();
+  {
+    TraceSpan Sp("obs_test.span", 1, 2);
+    traceInstant("obs_test.instant");
+  }
+  EXPECT_EQ(traceStats().EventsRecorded, 0u);
+  EXPECT_EQ(traceStats().EventsDropped, 0u);
+  EXPECT_TRUE(collectTrace().empty());
+}
+
+TEST(Trace, EnabledSpansAndInstantsAreCollected) {
+  setTracingEnabled(true);
+  resetTrace();
+  {
+    TraceSpan Outer("obs_test.outer", 7);
+    TraceSpan Inner("obs_test.inner");
+    traceInstant("obs_test.instant", 3, 4);
+  }
+  setTracingEnabled(false);
+  TraceStats TS = traceStats();
+  EXPECT_EQ(TS.EventsRecorded, 3u);
+  EXPECT_EQ(TS.EventsDropped, 0u);
+
+  std::vector<TaggedTraceEvent> Evs = collectTrace();
+  ASSERT_EQ(Evs.size(), 3u);
+  // Sorted by (tid, ts, depth): outer precedes inner, ts monotone per tid.
+  for (size_t I = 1; I < Evs.size(); ++I) {
+    if (Evs[I - 1].Tid == Evs[I].Tid) {
+      EXPECT_LE(Evs[I - 1].E.TsNs, Evs[I].E.TsNs);
+    }
+  }
+  bool SawOuter = false, SawInner = false, SawInstant = false;
+  for (const TaggedTraceEvent &T : Evs) {
+    std::string Nm = T.E.Nm;
+    if (Nm == "obs_test.outer") {
+      SawOuter = true;
+      EXPECT_EQ(T.E.A0, 7u);
+      EXPECT_EQ(T.E.Ph, 0u);
+      EXPECT_EQ(T.E.Depth, 0u);
+    } else if (Nm == "obs_test.inner") {
+      SawInner = true;
+      EXPECT_EQ(T.E.Depth, 1u);
+    } else if (Nm == "obs_test.instant") {
+      SawInstant = true;
+      EXPECT_EQ(T.E.Ph, 1u);
+      EXPECT_EQ(T.E.A0, 3u);
+      EXPECT_EQ(T.E.DurNs, 0u);
+    }
+  }
+  EXPECT_TRUE(SawOuter && SawInner && SawInstant);
+  resetTrace();
+}
+
+TEST(Trace, FullRingDropsAndCounts) {
+  setTracingEnabled(true);
+  resetTrace();
+  for (uint32_t I = 0; I < TraceRing::kCapacity + 100; ++I)
+    traceInstant("obs_test.flood");
+  setTracingEnabled(false);
+  TraceStats TS = traceStats();
+  EXPECT_EQ(TS.EventsRecorded, uint64_t(TraceRing::kCapacity));
+  EXPECT_GE(TS.EventsDropped, 100u); // never wraps, always counts
+  resetTrace();
+}
+
+TEST(Trace, InstrumentedAnalysisEmitsDaigEvents) {
+  const char *Source = R"(
+    function main(n) {
+      var i = 0;
+      while (i < n) { i = i + 1; }
+      return i;
+    }
+  )";
+  LowerResult LR = frontend(Source);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  Function &Main = *LR.Prog.find("main");
+
+  setTracingEnabled(true);
+  resetTrace();
+  Statistics Stats;
+  MemoTable<IntervalDomain> Memo;
+  Daig<IntervalDomain> G(&Main.Body,
+                         IntervalDomain::initialEntry(Main.Params), &Stats,
+                         &Memo);
+  (void)G.queryLocation(Main.Body.exit());
+  setTracingEnabled(false);
+
+  bool SawCellEval = false, SawFixIter = false, SawMemoMiss = false;
+  for (const TaggedTraceEvent &T : collectTrace()) {
+    std::string Nm = T.E.Nm;
+    SawCellEval |= Nm == "daig.cell_eval";
+    SawFixIter |= Nm == "daig.fix_iter";
+    SawMemoMiss |= Nm == "memo.miss";
+  }
+  EXPECT_TRUE(SawCellEval);
+  EXPECT_TRUE(SawFixIter);
+  EXPECT_TRUE(SawMemoMiss);
+  resetTrace();
+}
+
+//===----------------------------------------------------------------------===//
+// Demand provenance (explainQuery)
+//===----------------------------------------------------------------------===//
+
+struct Built {
+  LowerResult LR;
+  Statistics Stats;
+  MemoTable<IntervalDomain> Memo;
+  std::unique_ptr<Daig<IntervalDomain>> G;
+  Loc Exit = 0;
+};
+
+void build(Built &B) {
+  const char *Source = R"(
+    function main(n) {
+      var i = 0;
+      var total = 0;
+      while (i < n) {
+        total = total + i;
+        i = i + 1;
+      }
+      return total;
+    }
+  )";
+  B.LR = frontend(Source);
+  ASSERT_TRUE(B.LR.ok()) << B.LR.Error;
+  Function &Main = *B.LR.Prog.find("main");
+  B.G = std::make_unique<Daig<IntervalDomain>>(
+      &Main.Body, IntervalDomain::initialEntry(Main.Params), &B.Stats,
+      &B.Memo);
+  B.Exit = Main.Body.exit();
+}
+
+TEST(ExplainQuery, DeterministicAcrossFreshDaigs) {
+  Built A, B;
+  build(A);
+  build(B);
+  if (HasFatalFailure())
+    return;
+  DemandTree TA = A.G->explainQuery(A.Exit);
+  DemandTree TB = B.G->explainQuery(B.Exit);
+  EXPECT_GT(TA.size(), 0u);
+  EXPECT_EQ(TA.text(), TB.text()); // bit-identical for equal DAIG states
+  EXPECT_EQ(TA.dot(), TB.dot());
+}
+
+TEST(ExplainQuery, FirstEvaluatesThenSteadyStateReuses) {
+  Built B;
+  build(B);
+  if (HasFatalFailure())
+    return;
+  DemandTree Cold = B.G->explainQuery(B.Exit);
+  EXPECT_NE(Cold.text().find("[evaluated]"), std::string::npos)
+      << Cold.text();
+
+  // The explain query was a REAL query: its values are stored, so the
+  // second explain is pure Q-Reuse — and fits in one root node's subtree.
+  DemandTree Warm = B.G->explainQuery(B.Exit);
+  ASSERT_GT(Warm.size(), 0u);
+  for (const DemandTree::Node &N : Warm.Nodes) {
+    EXPECT_TRUE(N.O == DemandOutcome::Reused) << demandOutcomeName(N.O);
+    EXPECT_TRUE(N.Children.empty());
+  }
+  EXPECT_NE(Warm.text().find("[reused]"), std::string::npos);
+}
+
+TEST(ExplainQuery, MemoHitsAreTaggedAfterAnEdit) {
+  Built B;
+  build(B);
+  if (HasFatalFailure())
+    return;
+  (void)B.G->queryLocation(B.Exit);
+
+  // An identity-preserving round trip: edit a statement and edit it back.
+  // The second edit dirties the slice again, but every recomputation is
+  // answered by the memo table (Q-Match) — and explainQuery shows it.
+  Function &Main = *B.LR.Prog.find("main");
+  EdgeId InitEdge = InvalidEdgeId;
+  Stmt Orig = Stmt::mkSkip();
+  for (const auto &[Id, E] : Main.Body.edges())
+    if (E.Label.toString() == "i = 0") {
+      InitEdge = Id;
+      Orig = E.Label;
+    }
+  ASSERT_NE(InitEdge, InvalidEdgeId);
+  B.G->applyStatementEdit(InitEdge, Stmt::mkAssign("i", Expr::mkInt(5)));
+  (void)B.G->queryLocation(B.Exit);
+  B.G->applyStatementEdit(InitEdge, Orig);
+
+  DemandTree T = B.G->explainQuery(B.Exit);
+  EXPECT_NE(T.text().find("[memo-hit]"), std::string::npos) << T.text();
+}
+
+TEST(ExplainQuery, TopBudgetSubstitutionIsTagged) {
+  Built B;
+  build(B);
+  if (HasFatalFailure())
+    return;
+  // A step budget of 1: the second demand-miss checkpoint latches hard
+  // exhaustion, and every cell evaluation after it resolves to ⊤
+  // (degradeToTop) — which the demand tree reports as the budget's doing.
+  AnalysisBudget Budget;
+  Budget.MaxSteps = 1;
+  BudgetScope Scope(Budget);
+  DemandTree T = B.G->explainQuery(B.Exit);
+  EXPECT_NE(T.text().find("[top-budget]"), std::string::npos) << T.text();
+}
+
+} // namespace
