@@ -10,6 +10,12 @@
 #   - staged:  staged_escalated_transfers (dual-tier transfer evaluations —
 #     the octagon work the staged analysis actually paid; an escalation
 #     regression means more of the program runs the dense tier)
+#   - dis_interval: dis_interval_partitions_collapsed (partition lists
+#     force-merged back under the K bound; a regression means the
+#     disjunctive domain is churning partitions it immediately loses —
+#     deterministic like the closure counters, since K and the workload
+#     seed are fixed). Baselines predating the domain registry carry no
+#     dis_interval rows and get the standard named SKIP.
 #
 # Counters — not wall time — are the gate metrics: the workload is seeded
 # and the closure kernels are deterministic, so the counters are
@@ -198,6 +204,7 @@ STATUS=0
 gate octagon dbm_cells_touched || STATUS=1
 gate zone zone_closure_vertices_visited || STATUS=1
 gate staged staged_escalated_transfers || STATUS=1
+gate dis_interval dis_interval_partitions_collapsed || STATUS=1
 
 # The staged rows also carry a built-in correctness verdict: the bench
 # lockstep-compares every escalated sum-constraint answer against a pure

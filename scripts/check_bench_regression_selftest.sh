@@ -52,6 +52,7 @@ good_json() {
 {"domain": "octagon", "vars": 16, "wall_ms": 22.5, "dbm_cells_touched": 2000}
 {"domain": "zone", "vars": 16, "wall_ms": 4.5, "zone_closure_vertices_visited": 300}
 {"domain": "staged", "vars": 16, "wall_ms": 6.0, "staged_escalated_transfers": 120, "staged_sum_mismatches": 0, "staged_budget_exhaustions": 0, "staged_degraded_cells": 0, "staged_cancellations_honored": 0}
+{"domain": "dis_interval", "vars": 16, "wall_ms": 5.0, "dis_interval_partitions_collapsed": 40, "dis_interval_partition_splits": 12, "dis_interval_disjunctive_joins": 90}
 EOF
 }
 
@@ -108,6 +109,28 @@ sed 's/"staged_degraded_cells": 0/"staged_degraded_cells": 7/' \
   "$TMP/fresh.json" > "$TMP/fresh_degraded.json"
 run_case degraded-nonzero 1 'FAIL \[budget\]: staged_degraded_cells is 7' \
   "$TMP/base.json" "$TMP/fresh_degraded.json"
+
+# 10a. Baseline predating the domain registry (no dis_interval rows at
+# all): named per-domain SKIP, still exit 0 — pre-registry baselines must
+# not arm the disjunctive gate.
+grep -v '"domain": "dis_interval"' "$TMP/base.json" \
+  > "$TMP/base_preregistry.json"
+run_case pre-registry-baseline 0 'SKIP \[dis_interval\]: baseline has no' \
+  "$TMP/base_preregistry.json" "$TMP/fresh.json"
+
+# 10b. Partition-collapse churn beyond the 5% threshold: named FAIL (the
+# counter is deterministic — K and the workload seed are fixed).
+sed 's/"dis_interval_partitions_collapsed": 40/"dis_interval_partitions_collapsed": 60/' \
+  "$TMP/fresh.json" > "$TMP/fresh_dis_regressed.json"
+run_case dis-interval-regression 1 \
+  'FAIL \[dis_interval\]: dis_interval_partitions_collapsed regression' \
+  "$TMP/base.json" "$TMP/fresh_dis_regressed.json"
+
+# 10c. Malformed dis_interval counter: named FAIL, not an awk error.
+sed 's/"dis_interval_partitions_collapsed": 40/"dis_interval_partitions_collapsed": "many"/' \
+  "$TMP/fresh.json" > "$TMP/fresh_dis_garbage.json"
+run_case dis-interval-malformed 1 'FAIL \[dis_interval\]: malformed' \
+  "$TMP/base.json" "$TMP/fresh_dis_garbage.json"
 
 # A minimal well-formed verify result set (bench_batch_verify's row shape;
 # only the fields the checker gate reads).

@@ -86,7 +86,7 @@ for S in $(grep -ohE 'scripts/[a-z0-9_]+\.sh' $DOCS | sort -u); do
 done
 
 # 6. The --domain axis the docs promise must match the bench parser.
-for V in octagon zone staged both; do
+for V in octagon zone staged dis_interval arr_interval arr_zone both; do
   grep -q "\"$V\"" "$BENCH_SRC" ||
     fail "bench no longer accepts --domain $V promised by the docs"
 done

@@ -1331,6 +1331,15 @@ private:
   }
 
   /// Q-Match / Q-Miss evaluation of a non-fix computation.
+  ///
+  /// Memo keys embed D::hash(In), and a hit returns the stored Elem as-is,
+  /// so correctness requires hash() to be a pure function of the value and
+  /// equal() to be reflexive on copies (pinned per-domain by the registry
+  /// conformance suite). For the type-erased AnyDomain, hash() is
+  /// additionally type-tagged with the domain's registry key: values of
+  /// different concrete domains can never collide into one memo key, and
+  /// because the tag remap is injective per domain, a mixed-domain run
+  /// preserves each domain's Q-Match hit/miss pattern exactly.
   Elem evaluateComp(const Comp &C) {
     switch (C.F) {
     case FnKind::Transfer: {

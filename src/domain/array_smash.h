@@ -1,0 +1,285 @@
+//===-- domain/array_smash.h - Array-smashing functor domain ----*- C++ -*-===//
+//
+// Part of dai-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Array smashing as a *functor* domain (crab's `array_smashing<Dom>`
+/// lineage): wraps any base AbstractDomain and folds every array into one
+/// summary cell per array — a ghost length variable `a#len` and a ghost
+/// element-summary variable `a#elem` tracked *in the base domain itself*.
+/// Array reads are rewritten into ghost-variable reads before the base sees
+/// them (`a[i]` becomes `a#elem`, `a.length` becomes `a#len`), and array
+/// writes are weak updates: the post-state joins "summary := written value"
+/// with the unchanged pre-state, because a single smashed cell stands for
+/// every element at once.
+///
+/// The payoff is that *relational* base domains get array reasoning for
+/// free: `arr_zone` can discharge `i < a.length` bounds obligations via a
+/// difference constraint on `i` and `a#len`, which the native interval
+/// array tracking cannot express. The `#` in ghost names cannot appear in
+/// source identifiers, so ghosts never collide with program variables.
+///
+/// Because the wrapper reuses the base's Elem unchanged, every lattice
+/// operation (join/widen/leq/equal/hash) delegates verbatim — the functor
+/// only intercepts transfer, enterCall, and exitCall. Ghost bindings flow
+/// through calls by extending the callee's parameter list with ghost
+/// formals bound from ghost actuals, so the base's own enterCall machinery
+/// does the binding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DAI_DOMAIN_ARRAY_SMASH_H
+#define DAI_DOMAIN_ARRAY_SMASH_H
+
+#include "domain/abstract_domain.h"
+#include "lang/stmt.h"
+
+#include <string>
+#include <vector>
+
+namespace dai {
+
+namespace array_smash_detail {
+
+inline std::string ghostLen(const std::string &Array) {
+  return Array + "#len";
+}
+inline std::string ghostElem(const std::string &Array) {
+  return Array + "#elem";
+}
+
+/// A variable that is never bound anywhere: reading it is ⊤ in every base
+/// domain (absent-means-top), so assigning it to a ghost havocs the ghost.
+inline ExprPtr unknownVar() { return Expr::mkVar("#unknown"); }
+
+/// Rewrites array accesses into ghost-variable reads so the base domain
+/// (which knows nothing about arrays) sees plain numeric expressions.
+inline ExprPtr rewriteExpr(const ExprPtr &E) {
+  if (!E)
+    return E;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::NullLit:
+  case ExprKind::Var:
+    return E;
+  case ExprKind::Unary:
+    return Expr::mkUnary(E->UOp, rewriteExpr(E->Lhs));
+  case ExprKind::Binary:
+    return Expr::mkBinary(E->BOp, rewriteExpr(E->Lhs), rewriteExpr(E->Rhs));
+  case ExprKind::ArrayLit: {
+    std::vector<ExprPtr> Elems;
+    Elems.reserve(E->Elems.size());
+    for (const auto &Elem : E->Elems)
+      Elems.push_back(rewriteExpr(Elem));
+    return Expr::mkArray(std::move(Elems));
+  }
+  case ExprKind::Index:
+    // a[i] reads the smashed summary cell; the index is irrelevant to the
+    // value read (every element is the summary).
+    if (E->Lhs && E->Lhs->Kind == ExprKind::Var)
+      return Expr::mkVar(ghostElem(E->Lhs->Name));
+    return unknownVar();
+  case ExprKind::FieldRead:
+    if (E->Name == "length") {
+      if (E->Lhs && E->Lhs->Kind == ExprKind::Var)
+        return Expr::mkVar(ghostLen(E->Lhs->Name));
+      if (E->Lhs && E->Lhs->Kind == ExprKind::ArrayLit)
+        return Expr::mkInt(static_cast<int64_t>(E->Lhs->Elems.size()));
+      return unknownVar();
+    }
+    return Expr::mkField(rewriteExpr(E->Lhs), E->Name);
+  }
+  return E;
+}
+
+} // namespace array_smash_detail
+
+/// The array-smashing functor domain over \p Base (satisfies
+/// AbstractDomain). Registry keys: arr_interval, arr_zone, arr_dis_interval.
+template <typename Base>
+  requires AbstractDomain<Base>
+struct ArraySmashDomain {
+  using Elem = typename Base::Elem;
+
+  static Elem bottom() { return Base::bottom(); }
+  static Elem initialEntry(const std::vector<std::string> &Params) {
+    // Ghosts of parameters are unbound (⊤) at an uncalled entry, matching
+    // the base's treatment of the parameters themselves.
+    return Base::initialEntry(Params);
+  }
+  static Elem join(const Elem &A, const Elem &B) { return Base::join(A, B); }
+  static Elem widen(const Elem &P, const Elem &N) { return Base::widen(P, N); }
+  static bool leq(const Elem &A, const Elem &B) { return Base::leq(A, B); }
+  static bool equal(const Elem &A, const Elem &B) { return Base::equal(A, B); }
+  static uint64_t hash(const Elem &A) { return Base::hash(A); }
+  static std::string toString(const Elem &A) { return Base::toString(A); }
+  static bool isBottom(const Elem &A) { return Base::isBottom(A); }
+
+  static const char *name() {
+    static const std::string N = std::string("arr_") + Base::name();
+    return N.c_str();
+  }
+
+  static Elem transfer(const Stmt &S, const Elem &In) {
+    namespace d = array_smash_detail;
+    if (Base::isBottom(In))
+      return In;
+    switch (S.Kind) {
+    case StmtKind::Skip:
+    case StmtKind::Print:
+    case StmtKind::FieldWrite:
+      return Base::transfer(S, In);
+    case StmtKind::Assume:
+      return Base::transfer(Stmt::mkAssume(d::rewriteExpr(S.Rhs)), In);
+    case StmtKind::Assert:
+      return Base::transfer(Stmt::mkAssert(d::rewriteExpr(S.Rhs)), In);
+    case StmtKind::Alloc:
+      return havocGhosts(S.Lhs, Base::transfer(S, In));
+    case StmtKind::Assign: {
+      if (S.Rhs && S.Rhs->Kind == ExprKind::ArrayLit) {
+        // A fresh array: the length is exact and the summary cell is a
+        // strong update — the join over the element expressions.
+        Elem Out = Base::transfer(
+            Stmt::mkAssign(S.Lhs, d::rewriteExpr(S.Rhs)), In);
+        Out = Base::transfer(
+            Stmt::mkAssign(d::ghostLen(S.Lhs),
+                           Expr::mkInt(static_cast<int64_t>(
+                               S.Rhs->Elems.size()))),
+            Out);
+        if (S.Rhs->Elems.empty())
+          return Base::transfer(
+              Stmt::mkAssign(d::ghostElem(S.Lhs), d::unknownVar()), Out);
+        Out = Base::transfer(
+            Stmt::mkAssign(d::ghostElem(S.Lhs), d::rewriteExpr(S.Rhs->Elems[0])),
+            Out);
+        for (size_t I = 1, E = S.Rhs->Elems.size(); I != E; ++I)
+          Out = Base::join(
+              Base::transfer(Stmt::mkAssign(d::ghostElem(S.Lhs),
+                                            d::rewriteExpr(S.Rhs->Elems[I])),
+                             Out),
+              Out);
+        return Out;
+      }
+      if (S.Rhs && S.Rhs->Kind == ExprKind::Var) {
+        // Array aliasing via copy: ghosts copy along with the variable
+        // (scalar copies havoc the ghosts, since the source ghosts are ⊤).
+        Elem Out = Base::transfer(S, In);
+        Out = Base::transfer(
+            Stmt::mkAssign(d::ghostLen(S.Lhs),
+                           Expr::mkVar(d::ghostLen(S.Rhs->Name))),
+            Out);
+        return Base::transfer(
+            Stmt::mkAssign(d::ghostElem(S.Lhs),
+                           Expr::mkVar(d::ghostElem(S.Rhs->Name))),
+            Out);
+      }
+      return havocGhosts(
+          S.Lhs, Base::transfer(Stmt::mkAssign(S.Lhs, d::rewriteExpr(S.Rhs)),
+                                In));
+    }
+    case StmtKind::ArrayWrite: {
+      // Weak update: one summary cell stands for every element, so the
+      // post-state must admit "this element was overwritten" AND "some
+      // other element kept its old value".
+      Elem Pre = Base::transfer(
+          Stmt::mkArrayWrite(S.Lhs, d::rewriteExpr(S.Index),
+                             d::rewriteExpr(S.Rhs)),
+          In);
+      Elem Written = Base::transfer(
+          Stmt::mkAssign(d::ghostElem(S.Lhs), d::rewriteExpr(S.Rhs)), Pre);
+      return Base::join(Written, Pre);
+    }
+    case StmtKind::Call: {
+      std::vector<ExprPtr> Args;
+      Args.reserve(S.Args.size());
+      for (const auto &A : S.Args)
+        Args.push_back(d::rewriteExpr(A));
+      Elem Out = Base::transfer(
+          Stmt::mkCall(S.Lhs, S.Callee, std::move(Args)), In);
+      // Intraprocedural default: the result's ghosts are unknown. The
+      // interprocedural engine replaces this path with enterCall/exitCall.
+      return havocGhosts(S.Lhs, Out);
+    }
+    }
+    return Base::transfer(S, In);
+  }
+
+  static Elem enterCall(const Elem &Caller, const Stmt &CallSite,
+                        const std::vector<std::string> &CalleeParams) {
+    namespace d = array_smash_detail;
+    if (Base::isBottom(Caller))
+      return Caller;
+    // Extend the formal list with ghost formals and the actual list with
+    // ghost actuals, so the base's own enterCall binds array metadata
+    // across the call boundary (p#len := a#len, p#elem := a#elem).
+    std::vector<std::string> Params;
+    std::vector<ExprPtr> Args;
+    Params.reserve(CalleeParams.size() * 3);
+    Args.reserve(CalleeParams.size() * 3);
+    for (size_t I = 0, E = CalleeParams.size(); I != E; ++I) {
+      const ExprPtr *Arg =
+          I < CallSite.Args.size() ? &CallSite.Args[I] : nullptr;
+      Params.push_back(CalleeParams[I]);
+      Args.push_back(Arg ? d::rewriteExpr(*Arg) : d::unknownVar());
+      Params.push_back(d::ghostLen(CalleeParams[I]));
+      Params.push_back(d::ghostElem(CalleeParams[I]));
+      if (Arg && *Arg && (*Arg)->Kind == ExprKind::Var) {
+        Args.push_back(Expr::mkVar(d::ghostLen((*Arg)->Name)));
+        Args.push_back(Expr::mkVar(d::ghostElem((*Arg)->Name)));
+      } else if (Arg && *Arg && (*Arg)->Kind == ExprKind::ArrayLit) {
+        Args.push_back(
+            Expr::mkInt(static_cast<int64_t>((*Arg)->Elems.size())));
+        Args.push_back(d::unknownVar());
+      } else {
+        Args.push_back(d::unknownVar());
+        Args.push_back(d::unknownVar());
+      }
+    }
+    Stmt Extended =
+        Stmt::mkCall(CallSite.Lhs, CallSite.Callee, std::move(Args));
+    return Base::enterCall(Caller, Extended, Params);
+  }
+
+  static Elem exitCall(const Elem &Caller, const Elem &CalleeExit,
+                       const Stmt &CallSite) {
+    namespace d = array_smash_detail;
+    if (Base::isBottom(Caller))
+      return Caller;
+    std::vector<ExprPtr> Args;
+    Args.reserve(CallSite.Args.size());
+    for (const auto &A : CallSite.Args)
+      Args.push_back(d::rewriteExpr(A));
+    Stmt Rewritten =
+        Stmt::mkCall(CallSite.Lhs, CallSite.Callee, std::move(Args));
+    Elem Out = Base::exitCall(Caller, CalleeExit, Rewritten);
+    if (Base::isBottom(Out))
+      return Out;
+    // Arrays are passed by reference: the callee may have written elements
+    // (summaries havoc) but can never change a length (no resize in the
+    // language) — mirroring the interval domain's native exitCall.
+    for (const auto &A : CallSite.Args)
+      if (A && A->Kind == ExprKind::Var)
+        Out = Base::transfer(
+            Stmt::mkAssign(d::ghostElem(A->Name), d::unknownVar()), Out);
+    // A returned array's metadata is not tracked through the summary.
+    return havocGhosts(CallSite.Lhs, Out);
+  }
+
+private:
+  static Elem havocGhosts(const std::string &Var, Elem In) {
+    namespace d = array_smash_detail;
+    if (Base::isBottom(In))
+      return In;
+    In = Base::transfer(Stmt::mkAssign(d::ghostLen(Var), d::unknownVar()),
+                        std::move(In));
+    return Base::transfer(Stmt::mkAssign(d::ghostElem(Var), d::unknownVar()),
+                          std::move(In));
+  }
+};
+
+} // namespace dai
+
+#endif // DAI_DOMAIN_ARRAY_SMASH_H

@@ -381,6 +381,14 @@ bool StagedDomain::equal(const Elem &A, const Elem &B) {
   // identity (finer than pure semantic equality, which keeps hash()
   // consistent and costs at most a few extra fix iterations while a
   // loop's status stabilizes — both flags propagate monotonically).
+  //
+  // Like every D::equal, this must stay reflexive on copies: the escalated
+  // tier shares its Octagon behind a copy-on-write pointer, so a value and
+  // its copy may alias the same Oct — the dereference below is only safe
+  // because escalated() implies Oct is non-null on BOTH sides, which the
+  // flag check above guarantees for same-origin values. Cross-domain
+  // comparisons never reach here: the type-erased AnyDomain::equal returns
+  // false before dispatching when the operands' domains differ.
   if (A.escalated() != B.escalated() || A.Seeded != B.Seeded)
     return false;
   if (!ZoneDomain::equal(A.Z, B.Z))

@@ -609,6 +609,18 @@ private:
     return D::exitCall(In, Summary, S);
   }
 
+  /// The entry seed for a (function, context) instance. Domains that
+  /// support per-function selection (the registry's AnyDomain with an
+  /// installed FunctionDomainPolicy) expose initialEntryFor, so the policy
+  /// applies at instance creation — root/seeded instances included, not
+  /// only demanded callees routed through enterCall.
+  Elem initialEntryOf(const InstanceKey &Key, const Function &F) {
+    if constexpr (requires { D::initialEntryFor(Key.Fn, F.Params); })
+      return D::initialEntryFor(Key.Fn, F.Params);
+    else
+      return D::initialEntry(F.Params);
+  }
+
   Instance &instanceFor(const InstanceKey &Key, bool Seed) {
     auto It = Instances.find(Key);
     if (It == Instances.end()) {
@@ -616,7 +628,7 @@ private:
       assert(F && "instance for unknown function");
       auto Inst = std::make_unique<Instance>();
       Elem Entry =
-          Seed ? D::initialEntry(F->Params) : D::bottom(); // unseeded: no calls
+          Seed ? initialEntryOf(Key, *F) : D::bottom(); // unseeded: no calls
       Inst->G = std::make_unique<Daig<D>>(&F->Body, std::move(Entry), &Stats,
                                           &Memo);
       Inst->Seeded = Seed;
@@ -630,7 +642,7 @@ private:
     } else if (Seed && !It->second->Seeded) {
       It->second->Seeded = true;
       Function *F = Prog.find(symbolName(Key.Fn));
-      It->second->G->updateEntry(D::initialEntry(F->Params));
+      It->second->G->updateEntry(initialEntryOf(Key, *F));
     }
     return *It->second;
   }

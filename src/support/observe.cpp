@@ -33,8 +33,12 @@ struct TraceGlobals {
 };
 
 TraceGlobals &traceGlobals() {
-  static TraceGlobals G;
-  return G;
+  // Immortal: never destroyed, so Rings keeps every registered ring
+  // reachable through process exit — a plain function-local static would
+  // run ~vector at exit and strand the intentionally-unfreed rings,
+  // tripping leak checkers depending on teardown order.
+  static TraceGlobals *G = new TraceGlobals();
+  return *G;
 }
 
 } // namespace

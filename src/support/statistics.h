@@ -334,6 +334,57 @@ inline StagedCounters &stagedCounters() {
   return Counters;
 }
 
+/// Counters for the disjunctive-interval domain (domain/dis_interval.h).
+/// The domain's defining cost knob is the per-variable partition bound K:
+/// joins and ≠-refinements grow the partition list, and normalization merges
+/// the closest pair whenever the list would exceed K. PartitionsCollapsed
+/// counts those forced merges — the precision actually *paid* for the bound —
+/// and is deterministic on a seeded workload, so it is the CI gate metric
+/// for the dis_interval bench rows.
+///
+/// thread_local like ClosureCounters (one analysis engine per thread).
+struct DisIntervalCounters {
+  uint64_t PartitionsCollapsed = 0; ///< Closest-pair merges forced by the
+                                    ///< partition bound K (precision lost to
+                                    ///< the bound). The CI gate metric.
+  uint64_t PartitionSplits = 0;     ///< Partitions split by a ≠-refinement
+                                    ///< (the path-sensitivity win).
+  uint64_t DisjunctiveJoins = 0;    ///< Variable joins whose result kept ≥ 2
+                                    ///< partitions (a plain interval would
+                                    ///< have taken the convex hull here).
+
+  void reset() { *this = DisIntervalCounters(); }
+
+  /// Cross-thread merge: all fields are monotone counters, so they add.
+  void mergeFrom(const DisIntervalCounters &O) {
+    PartitionsCollapsed += O.PartitionsCollapsed;
+    PartitionSplits += O.PartitionSplits;
+    DisjunctiveJoins += O.DisjunctiveJoins;
+  }
+
+  DisIntervalCounters operator-(const DisIntervalCounters &O) const {
+    DisIntervalCounters R;
+    R.PartitionsCollapsed = PartitionsCollapsed - O.PartitionsCollapsed;
+    R.PartitionSplits = PartitionSplits - O.PartitionSplits;
+    R.DisjunctiveJoins = DisjunctiveJoins - O.DisjunctiveJoins;
+    return R;
+  }
+};
+
+inline std::ostream &operator<<(std::ostream &OS,
+                                const DisIntervalCounters &C) {
+  OS << "{partitionsCollapsed=" << C.PartitionsCollapsed
+     << " partitionSplits=" << C.PartitionSplits
+     << " disjunctiveJoins=" << C.DisjunctiveJoins << "}";
+  return OS;
+}
+
+/// The thread's dis_interval counter sink (see DisIntervalCounters).
+inline DisIntervalCounters &disIntervalCounters() {
+  static thread_local DisIntervalCounters Counters;
+  return Counters;
+}
+
 /// Counters for the global hash-consed NameTable (daig/name.h). Name
 /// construction sits on the hot path of every edit and query (Fig. 6 names
 /// resolve DAIG cells and memo entries), so benches report these alongside
@@ -419,17 +470,20 @@ struct ThreadCounters {
   ClosureCounters Closure;
   ZoneCounters Zone;
   StagedCounters Staged;
+  DisIntervalCounters DisInterval;
 
   /// Copies the calling thread's live sinks.
   static ThreadCounters snapshot() {
-    return {closureCounters(), zoneCounters(), stagedCounters()};
+    return {closureCounters(), zoneCounters(), stagedCounters(),
+            disIntervalCounters()};
   }
 
   /// The work performed since \p Base (both taken on the same thread).
   /// Gauges follow the operator- convention: the delta carries this
   /// snapshot's absolute gauge value.
   ThreadCounters deltaSince(const ThreadCounters &Base) const {
-    return {Closure - Base.Closure, Zone - Base.Zone, Staged - Base.Staged};
+    return {Closure - Base.Closure, Zone - Base.Zone, Staged - Base.Staged,
+            DisInterval - Base.DisInterval};
   }
 
   /// Accumulates a delta into this bundle (counters add, gauges max).
@@ -437,6 +491,7 @@ struct ThreadCounters {
     Closure.mergeFrom(D.Closure);
     Zone.mergeFrom(D.Zone);
     Staged.mergeFrom(D.Staged);
+    DisInterval.mergeFrom(D.DisInterval);
   }
 
   /// Folds this bundle into the calling thread's live sinks.
@@ -444,6 +499,7 @@ struct ThreadCounters {
     closureCounters().mergeFrom(Closure);
     zoneCounters().mergeFrom(Zone);
     stagedCounters().mergeFrom(Staged);
+    disIntervalCounters().mergeFrom(DisInterval);
   }
 
   void reset() { *this = ThreadCounters(); }

@@ -20,10 +20,13 @@
 #include "domain/constprop.h"
 #include "domain/interval.h"
 #include "domain/octagon.h"
+#include "domain/registry.h"
 #include "domain/shape.h"
 #include "support/rng.h"
 
 #include <gtest/gtest.h>
+
+#include <tuple>
 
 using namespace dai;
 
@@ -334,5 +337,256 @@ TEST(OctagonDomainTest, SelfIncrementShifts) {
   Octagon C = OctagonDomain::transfer(Inc, B);
   EXPECT_EQ(C.boundsOf("i"), Interval::constant(2));
 }
+
+//===----------------------------------------------------------------------===//
+// Registry-driven conformance suite
+//
+// Enumerates every key in DomainRegistry and re-checks the AbstractDomain
+// contract through the erased AnyDomain interface, so a domain cannot be
+// selectable at runtime without passing the same laws the compile-time
+// domains pass above. Values are grown by random transfer/assume chains
+// (the statement pool covers numeric, disjunctive-guard, heap, and array
+// forms so every domain's transfer actually fires), and all order-theoretic
+// laws are stated via mutual leq — robust to representation differences
+// (e.g. closed vs. unclosed zones) that semantic equality must tolerate.
+//===----------------------------------------------------------------------===//
+
+/// Statements that exercise every registered domain: numeric assignments
+/// and guards (interval/zone/octagon/constprop), disjunctive guards
+/// (dis_interval partitions), alloc/field/null forms (shape), and array
+/// literals/writes/reads (the arr_* smashing functors).
+Stmt randomConformanceStmt(Rng &R) {
+  std::string X = "v" + std::to_string(R.below(4));
+  std::string Y = "v" + std::to_string(R.below(4));
+  auto CmpOp = [&R] {
+    switch (R.below(6)) {
+    case 0: return BinaryOp::Lt;
+    case 1: return BinaryOp::Le;
+    case 2: return BinaryOp::Gt;
+    case 3: return BinaryOp::Ge;
+    case 4: return BinaryOp::Eq;
+    default: return BinaryOp::Ne;
+    }
+  };
+  switch (R.below(12)) {
+  case 0:
+    return Stmt::mkAssign(X, Expr::mkInt(R.range(-9, 9)));
+  case 1:
+    return Stmt::mkAssign(X, Expr::mkBinary(BinaryOp::Add, Expr::mkVar(Y),
+                                            Expr::mkInt(R.range(-5, 5))));
+  case 2:
+    return Stmt::mkAssign(X, Expr::mkBinary(BinaryOp::Mul, Expr::mkVar(Y),
+                                            Expr::mkVar(X)));
+  case 3:
+    return Stmt::mkAssume(Expr::mkBinary(CmpOp(), Expr::mkVar(X),
+                                         Expr::mkInt(R.range(-9, 9))));
+  case 4:
+    // Disjunctive guard: the partition source for dis_interval, a plain
+    // join for the convex domains.
+    return Stmt::mkAssume(Expr::mkBinary(
+        BinaryOp::Or,
+        Expr::mkBinary(BinaryOp::Le, Expr::mkVar(X),
+                       Expr::mkInt(R.range(-9, -1))),
+        Expr::mkBinary(BinaryOp::Ge, Expr::mkVar(X),
+                       Expr::mkInt(R.range(1, 9)))));
+  case 5:
+    return Stmt::mkAssume(
+        Expr::mkBinary(CmpOp(), Expr::mkVar(X), Expr::mkVar(Y)));
+  case 6:
+    return Stmt::mkAlloc(X);
+  case 7:
+    return Stmt::mkFieldWrite(X, R.percent(50) ? Expr::mkNull()
+                                               : Expr::mkVar(Y));
+  case 8:
+    return Stmt::mkAssume(Expr::mkBinary(R.percent(50) ? BinaryOp::Eq
+                                                       : BinaryOp::Ne,
+                                         Expr::mkVar(X), Expr::mkNull()));
+  case 9: {
+    std::vector<ExprPtr> Elems;
+    unsigned N = 1 + static_cast<unsigned>(R.below(3));
+    for (unsigned I = 0; I < N; ++I)
+      Elems.push_back(Expr::mkInt(R.range(-9, 9)));
+    return Stmt::mkAssign(X, Expr::mkArray(std::move(Elems)));
+  }
+  case 10:
+    return Stmt::mkArrayWrite(X, Expr::mkInt(R.range(0, 3)),
+                              Expr::mkInt(R.range(-9, 9)));
+  default:
+    return Stmt::mkAssign(Y, R.percent(50)
+                                 ? Expr::mkIndex(Expr::mkVar(X),
+                                                 Expr::mkInt(R.range(0, 3)))
+                                 : Expr::mkField(Expr::mkVar(X), "length"));
+  }
+}
+
+/// A random erased value of the currently bound default domain: a chain of
+/// random transfers from the entry state, with occasional joins of short
+/// sibling chains (so non-chain-shaped elements appear too).
+AnyVal randomErasedValue(Rng &R) {
+  if (R.percent(8))
+    return AnyDomain::bottom();
+  AnyVal S = AnyDomain::initialEntry({});
+  unsigned N = static_cast<unsigned>(R.below(7));
+  for (unsigned I = 0; I < N; ++I) {
+    if (R.percent(20)) {
+      AnyVal T = AnyDomain::initialEntry({});
+      unsigned M = static_cast<unsigned>(R.below(3));
+      for (unsigned J = 0; J < M; ++J)
+        T = AnyDomain::transfer(randomConformanceStmt(R), T);
+      S = AnyDomain::join(S, T);
+    } else {
+      S = AnyDomain::transfer(randomConformanceStmt(R), S);
+    }
+  }
+  return S;
+}
+
+/// Semantic equality: mutual leq (tolerates representation differences).
+bool semEq(const AnyVal &A, const AnyVal &B) {
+  return AnyDomain::leq(A, B) && AnyDomain::leq(B, A);
+}
+
+class DomainConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(DomainConformance, LatticeLaws) {
+  const auto &[Key, Seed] = GetParam();
+  AnyDomainDefaultScope Bind(Key);
+  ASSERT_TRUE(Bind.ok()) << "unregistered key: " << Key;
+  EXPECT_STREQ(AnyDomain::name(), Key.c_str());
+  Rng R(Seed);
+  for (unsigned I = 0; I < 25; ++I) {
+    AnyVal A = randomErasedValue(R);
+    AnyVal B = randomErasedValue(R);
+    AnyVal C = randomErasedValue(R);
+    // Partial order: reflexivity, bottom-least.
+    EXPECT_TRUE(AnyDomain::leq(A, A));
+    EXPECT_TRUE(AnyDomain::leq(AnyDomain::bottom(), A));
+    // Join: upper bound of both arguments and idempotent.
+    AnyVal J = AnyDomain::join(A, B);
+    EXPECT_TRUE(AnyDomain::leq(A, J))
+        << AnyDomain::toString(A) << " !<= " << AnyDomain::toString(J);
+    EXPECT_TRUE(AnyDomain::leq(B, J))
+        << AnyDomain::toString(B) << " !<= " << AnyDomain::toString(J);
+    EXPECT_TRUE(semEq(AnyDomain::join(A, A), A));
+    // Join: commutative and associative (semantically).
+    EXPECT_TRUE(semEq(J, AnyDomain::join(B, A)));
+    EXPECT_TRUE(semEq(AnyDomain::join(J, C),
+                      AnyDomain::join(A, AnyDomain::join(B, C))));
+    // Join is the LEAST upper bound: it sits below every other upper
+    // bound we can construct, in particular widen(A, B).
+    AnyVal W = AnyDomain::widen(A, B);
+    EXPECT_TRUE(AnyDomain::leq(A, W));
+    EXPECT_TRUE(AnyDomain::leq(B, W));
+    EXPECT_TRUE(AnyDomain::leq(J, W))
+        << "widen must cover join: " << AnyDomain::toString(J) << " !<= "
+        << AnyDomain::toString(W);
+    // Bottom identities: ⊥ ⊔ x ≡ x, and ⊥ stays ⊥ under transfer.
+    EXPECT_TRUE(semEq(AnyDomain::join(AnyDomain::bottom(), A), A));
+    EXPECT_TRUE(AnyDomain::isBottom(AnyDomain::bottom()));
+    EXPECT_TRUE(AnyDomain::isBottom(
+        AnyDomain::transfer(randomConformanceStmt(R), AnyDomain::bottom())));
+  }
+}
+
+TEST_P(DomainConformance, EqualHashCoherence) {
+  const auto &[Key, Seed] = GetParam();
+  AnyDomainDefaultScope Bind(Key);
+  ASSERT_TRUE(Bind.ok()) << "unregistered key: " << Key;
+  Rng R(Seed);
+  // A default-constructed erased value (no vtable yet) must behave exactly
+  // as ⊥ of the bound domain — the normalization half of the erasure
+  // contract.
+  EXPECT_TRUE(AnyDomain::isBottom(AnyVal{}));
+  EXPECT_TRUE(AnyDomain::equal(AnyVal{}, AnyDomain::bottom()));
+  EXPECT_EQ(AnyDomain::hash(AnyVal{}), AnyDomain::hash(AnyDomain::bottom()));
+  for (unsigned I = 0; I < 25; ++I) {
+    AnyVal A = randomErasedValue(R);
+    AnyVal B = randomErasedValue(R);
+    // equal is an equivalence on identical values and implies equal hashes.
+    AnyVal ACopy = A;
+    EXPECT_TRUE(AnyDomain::equal(A, ACopy));
+    EXPECT_EQ(AnyDomain::hash(A), AnyDomain::hash(ACopy));
+    // equal implies mutual leq and hash agreement wherever it fires.
+    if (AnyDomain::equal(A, B)) {
+      EXPECT_TRUE(semEq(A, B));
+      EXPECT_EQ(AnyDomain::hash(A), AnyDomain::hash(B));
+    }
+    // Reconstructing a value (x ⊔ x) must stay equal-and-equal-hash: the
+    // memo layer keys on hash and confirms with equal, so either failing
+    // here would break Q-Match.
+    AnyVal Rejoined = AnyDomain::join(A, A);
+    if (AnyDomain::equal(Rejoined, A))
+      EXPECT_EQ(AnyDomain::hash(Rejoined), AnyDomain::hash(A));
+    EXPECT_EQ(AnyDomain::hash(A), AnyDomain::hash(A))
+        << "hash must be deterministic";
+  }
+}
+
+TEST_P(DomainConformance, TransferMonotone) {
+  const auto &[Key, Seed] = GetParam();
+  AnyDomainDefaultScope Bind(Key);
+  ASSERT_TRUE(Bind.ok()) << "unregistered key: " << Key;
+  Rng R(Seed);
+  for (unsigned I = 0; I < 15; ++I) {
+    AnyVal A = randomErasedValue(R);
+    AnyVal C = randomErasedValue(R);
+    AnyVal B = AnyDomain::join(A, C); // A <= B by construction.
+    Stmt S = randomConformanceStmt(R);
+    EXPECT_TRUE(
+        AnyDomain::leq(AnyDomain::transfer(S, A), AnyDomain::transfer(S, B)))
+        << "transfer not monotone on " << S.toString() << "\n  at   "
+        << AnyDomain::toString(A) << "\n  vs   " << AnyDomain::toString(B);
+  }
+}
+
+TEST_P(DomainConformance, WideningConverges) {
+  const auto &[Key, Seed] = GetParam();
+  AnyDomainDefaultScope Bind(Key);
+  ASSERT_TRUE(Bind.ok()) << "unregistered key: " << Key;
+  Rng R(Seed);
+  for (unsigned I = 0; I < 8; ++I) {
+    AnyVal Acc = randomErasedValue(R);
+    unsigned Steps = 0;
+    for (; Steps < 300; ++Steps) {
+      AnyVal Next = AnyDomain::join(Acc, randomErasedValue(R));
+      AnyVal Widened = AnyDomain::widen(Acc, Next);
+      if (AnyDomain::equal(Widened, Acc))
+        break;
+      Acc = Widened;
+    }
+    EXPECT_LT(Steps, 300u) << "widening chain failed to converge for " << Key;
+  }
+}
+
+/// The registered universe itself: every key the rest of this PR depends on
+/// must be present (the conformance sweep above enumerates this same list).
+TEST(DomainRegistryConformance, RegisteredKeys) {
+  auto Keys = DomainRegistry::instance().keys();
+  EXPECT_GE(Keys.size(), 8u);
+  for (const char *Expected :
+       {"interval", "dis_interval", "constprop", "zone", "octagon", "staged",
+        "shape", "arr_interval", "arr_zone", "arr_dis_interval"}) {
+    EXPECT_NE(std::find(Keys.begin(), Keys.end(), Expected), Keys.end())
+        << "missing registry key: " << Expected;
+    const DomainVTable *VT = DomainRegistry::instance().find(Expected);
+    ASSERT_NE(VT, nullptr);
+    EXPECT_STREQ(VT->Key, Expected);
+  }
+  EXPECT_EQ(DomainRegistry::instance().find("no_such_domain"), nullptr);
+}
+
+std::vector<std::string> conformanceKeys() {
+  return DomainRegistry::instance().keys();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, DomainConformance,
+    ::testing::Combine(::testing::ValuesIn(conformanceKeys()),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u)),
+    [](const ::testing::TestParamInfo<DomainConformance::ParamType> &Info) {
+      return std::get<0>(Info.param) + "_s" +
+             std::to_string(std::get<1>(Info.param));
+    });
 
 } // namespace
